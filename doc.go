@@ -1,0 +1,100 @@
+// Package lagraph is a pure-Go reproduction of the system proposed in
+// "LAGraph: A Community Effort to Collect Graph Algorithms Built on Top of
+// the GraphBLAS" (Mattson, Davis, Kumar, Buluç, McMillan, Moreira, Yang —
+// IPDPSW 2019): a GraphBLAS implementation (sparse linear algebra over
+// arbitrary semirings) plus the LAGraph collection of graph algorithms
+// built on it.
+//
+// The layering follows Figure 1 of the paper:
+//
+//	applications / examples (examples/, cmd/)
+//	        │
+//	algorithm library (internal/lagraph)   +  I/O & generators
+//	        │                                 (internal/mmio, internal/gen)
+//	GraphBLAS API (internal/grb)  — Matrix[T], Vector[T], semirings,
+//	        │                        masks, descriptors, non-blocking mode
+//	storage kernels — CSR/CSC/hypersparse, Gustavson/dot/heap mxm,
+//	                  push–pull mxv, pending tuples & zombies
+//
+// This root package re-exports the most frequently used surface so that
+// small programs need a single import. The full API lives in the
+// subpackages.
+package lagraph
+
+import (
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+// Core object types, re-exported.
+type (
+	// Matrix is a GraphBLAS sparse matrix with entries of type T.
+	Matrix[T any] = grb.Matrix[T]
+	// Vector is a GraphBLAS sparse vector with entries of type T.
+	Vector[T any] = grb.Vector[T]
+	// Descriptor modifies GraphBLAS operations.
+	Descriptor = grb.Descriptor
+	// Graph bundles an adjacency matrix with cached properties.
+	Graph = lagraph.Graph
+	// Kind distinguishes directed from undirected graphs.
+	Kind = lagraph.Kind
+)
+
+// Graph kinds.
+const (
+	Directed   = lagraph.Directed
+	Undirected = lagraph.Undirected
+)
+
+// NewMatrix creates an empty nrows×ncols GraphBLAS matrix.
+func NewMatrix[T any](nrows, ncols int) (*Matrix[T], error) {
+	return grb.NewMatrix[T](nrows, ncols)
+}
+
+// NewVector creates an empty GraphBLAS vector of dimension n.
+func NewVector[T any](n int) (*Vector[T], error) {
+	return grb.NewVector[T](n)
+}
+
+// NewGraph wraps an adjacency matrix as a Graph.
+func NewGraph(a *Matrix[float64], kind Kind) (*Graph, error) {
+	return lagraph.NewGraph(a, kind)
+}
+
+// RMAT generates a scale-free graph with 2^scale vertices (Graph500
+// parameters) and wraps it as a Graph.
+func RMAT(scale, edgeFactor int, seed int64, undirected bool) *Graph {
+	kind := Directed
+	if undirected {
+		kind = Undirected
+	}
+	return lagraph.FromEdgeList(gen.RMAT(scale, edgeFactor, gen.Config{
+		Seed: seed, Undirected: undirected, NoSelfLoops: true,
+	}), kind)
+}
+
+// The most used algorithms, re-exported; the full collection lives in
+// internal/lagraph (see the examples directory for usage).
+var (
+	// BFSLevels computes direction-optimized BFS levels.
+	BFSLevels = lagraph.BFSLevels
+	// BFSParents computes the BFS parent tree with the ANY semiring.
+	BFSParents = lagraph.BFSParents
+	// PageRank computes damped PageRank with an L1 stopping tolerance.
+	PageRank = lagraph.PageRank
+	// TriangleCount counts triangles; see lagraph.TCMethod for kernels.
+	TriangleCount = lagraph.TriangleCount
+	// ConnectedComponents labels weakly connected components (FastSV).
+	ConnectedComponents = lagraph.ConnectedComponentsFastSV
+	// SSSP computes single-source shortest paths (delta-stepping).
+	SSSP = lagraph.SSSPDeltaStepping
+	// KCore computes the k-core decomposition.
+	KCore = lagraph.KCore
+	// HITS computes hub and authority scores.
+	HITS = lagraph.HITS
+	// Modularity scores a clustering.
+	Modularity = lagraph.Modularity
+	// Measure computes basic graph statistics.
+	Measure = lagraph.Measure
+)

@@ -1,0 +1,81 @@
+// Sparse deep neural network inference (§V, [47]): a GraphChallenge-style
+// workload — random sparse layers, ReLU with saturation — expressed
+// entirely in GraphBLAS operations.
+//
+//	go run ./examples/dnn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+func main() {
+	const (
+		nfeatures = 512
+		nneurons  = 1024
+		nlayers   = 8
+		fanIn     = 32
+	)
+	rng := rand.New(rand.NewSource(99))
+
+	// Random sparse layers, weights centred slightly positive so some
+	// signal survives 12 layers of ReLU.
+	layers := make([]lagraph.DNNLayer, nlayers)
+	for l := range layers {
+		w := grb.MustMatrix[float64](nneurons, nneurons)
+		is := make([]int, 0, nneurons*fanIn)
+		js := make([]int, 0, nneurons*fanIn)
+		xs := make([]float64, 0, nneurons*fanIn)
+		for j := 0; j < nneurons; j++ {
+			for k := 0; k < fanIn; k++ {
+				is = append(is, rng.Intn(nneurons))
+				js = append(js, j)
+				xs = append(xs, rng.Float64()*0.6)
+			}
+		}
+		if err := w.Build(is, js, xs, grb.Plus[float64]()); err != nil {
+			log.Fatal(err)
+		}
+		bias := grb.MustVector[float64](nneurons)
+		for j := 0; j < nneurons; j++ {
+			_ = bias.SetElement(j, -0.15)
+		}
+		layers[l] = lagraph.DNNLayer{W: w, Bias: bias}
+	}
+
+	// Sparse input activations.
+	y0 := grb.MustMatrix[float64](nfeatures, nneurons)
+	for i := 0; i < nfeatures; i++ {
+		for k := 0; k < 64; k++ {
+			_ = y0.SetElement(i, rng.Intn(nneurons), rng.Float64())
+		}
+	}
+	fmt.Printf("input: %d×%d activations, %d nonzeros, %d layers\n",
+		nfeatures, nneurons, y0.Nvals(), nlayers)
+
+	t0 := time.Now()
+	y := y0
+	fmt.Println("layer  nonzeros  density")
+	for l := range layers {
+		var err error
+		y, err = lagraph.DNNInference(y, layers[l:l+1], 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nv := y.Nvals()
+		fmt.Printf("%5d  %8d  %.3f\n", l+1, nv, float64(nv)/float64(nfeatures*nneurons))
+	}
+	fmt.Printf("inference: %v, output nonzeros: %d\n", time.Since(t0), y.Nvals())
+
+	cats, err := lagraph.DNNCategories(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("categories (rows with surviving signal): %d / %d\n", cats.Nvals(), nfeatures)
+}

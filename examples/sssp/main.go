@@ -1,0 +1,77 @@
+// SSSP example: delta-stepping on a weighted grid standing in for a road
+// network (the substitution DESIGN.md documents), validated against
+// Dijkstra and Bellman-Ford, plus an A* point-to-point query — the
+// algorithm §V lists as not yet expressed in GraphBLAS form, provided
+// here as an extension.
+//
+//	go run ./examples/sssp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"lagraph/internal/baseline"
+	"lagraph/internal/gen"
+	"lagraph/internal/lagraph"
+)
+
+func main() {
+	const rows, cols = 120, 120
+	e := gen.Grid2D(rows, cols, gen.Config{Seed: 11, Undirected: true, MinWeight: 1, MaxWeight: 10})
+	g := lagraph.FromEdgeList(e, lagraph.Undirected)
+	fmt.Printf("road network: %d junctions, %d road segments\n", g.N(), g.NEdges())
+
+	src := 0
+	dst := rows*cols - 1
+
+	t0 := time.Now()
+	dist, err := lagraph.SSSPDeltaStepping(g, src, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delta-stepping (Δ=8):  %v\n", time.Since(t0))
+
+	t0 = time.Now()
+	distBF, err := lagraph.SSSPBellmanFord(g, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Bellman-Ford (min-plus): %v\n", time.Since(t0))
+
+	bg := baseline.FromMatrix(g.A.Dup())
+	t0 = time.Now()
+	want := baseline.Dijkstra(bg, src)
+	fmt.Printf("Dijkstra baseline:       %v\n", time.Since(t0))
+
+	maxDiff := 0.0
+	for v := 0; v < g.N(); v++ {
+		d1, err := dist.GetElement(v)
+		if err != nil {
+			d1 = math.Inf(1)
+		}
+		d2, err := distBF.GetElement(v)
+		if err != nil {
+			d2 = math.Inf(1)
+		}
+		if d := math.Abs(d1 - want[v]); d > maxDiff && !math.IsInf(want[v], 1) {
+			maxDiff = d
+		}
+		if d := math.Abs(d2 - want[v]); d > maxDiff && !math.IsInf(want[v], 1) {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max |Δdistance| vs Dijkstra: %g\n\n", maxDiff)
+
+	d, _ := dist.GetElement(dst)
+	fmt.Printf("corner-to-corner distance: %.0f\n", d)
+
+	t0 = time.Now()
+	path, cost, ok, err := lagraph.AStar(g, src, dst, lagraph.GridManhattan(cols, dst))
+	if err != nil || !ok {
+		log.Fatalf("astar: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("A* corner-to-corner: cost %.0f, %d hops, %v\n", cost, len(path)-1, time.Since(t0))
+}

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"lagraph/internal/gen"
+)
+
+func grid(t *testing.T) *Graph {
+	t.Helper()
+	return FromMatrix(gen.Grid2D(4, 4, gen.Config{Seed: 1, Undirected: true}).Matrix())
+}
+
+func TestBFSLevelsOnGrid(t *testing.T) {
+	g := grid(t)
+	levels, parents := BFSLevels(g, 0)
+	// Manhattan distance on the 4x4 lattice.
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if levels[r*4+c] != r+c {
+				t.Fatalf("level(%d,%d)=%d want %d", r, c, levels[r*4+c], r+c)
+			}
+		}
+	}
+	if parents[0] != 0 {
+		t.Fatal("root parent")
+	}
+	for v := 1; v < 16; v++ {
+		if levels[parents[v]] != levels[v]-1 {
+			t.Fatalf("parent level of %d", v)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := FromMatrix(gen.Path(5, gen.Config{}).Matrix()) // directed path
+	levels, _ := BFSLevels(g, 2)
+	if levels[0] != -1 || levels[1] != -1 {
+		t.Fatal("upstream vertices must be unreachable")
+	}
+	if levels[4] != 2 {
+		t.Fatalf("level[4]=%d", levels[4])
+	}
+}
+
+func TestDijkstraVsBellmanFord(t *testing.T) {
+	e := gen.ErdosRenyi(60, 400, gen.Config{Seed: 4, MinWeight: 1, MaxWeight: 10, NoSelfLoops: true})
+	g := FromMatrix(e.Matrix())
+	d1 := Dijkstra(g, 0)
+	d2, ok := BellmanFord(g, 0)
+	if !ok {
+		t.Fatal("no negative cycles expected")
+	}
+	for v := range d1 {
+		if math.IsInf(d1[v], 1) != math.IsInf(d2[v], 1) {
+			t.Fatalf("reachability disagrees at %d", v)
+		}
+		if !math.IsInf(d1[v], 1) && math.Abs(d1[v]-d2[v]) > 1e-9 {
+			t.Fatalf("dist[%d]: %v vs %v", v, d1[v], d2[v])
+		}
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	// 0→1→2→0 with total weight -1.
+	el := &gen.EdgeList{N: 3, Src: []int{0, 1, 2}, Dst: []int{1, 2, 0}, W: []float64{1, 1, -3}}
+	g := FromMatrix(el.Matrix())
+	if _, ok := BellmanFord(g, 0); ok {
+		t.Fatal("negative cycle must be detected")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two rings of 5, disjoint.
+	el := &gen.EdgeList{N: 10}
+	for i := 0; i < 5; i++ {
+		el.Src = append(el.Src, i, (i+1)%5)
+		el.Dst = append(el.Dst, (i+1)%5, i)
+		el.W = append(el.W, 1, 1)
+		el.Src = append(el.Src, 5+i, 5+(i+1)%5)
+		el.Dst = append(el.Dst, 5+(i+1)%5, 5+i)
+		el.W = append(el.W, 1, 1)
+	}
+	g := FromMatrix(el.Matrix())
+	comp := ConnectedComponents(g)
+	for i := 0; i < 5; i++ {
+		if comp[i] != 0 {
+			t.Fatalf("comp[%d]=%d", i, comp[i])
+		}
+		if comp[5+i] != 5 {
+			t.Fatalf("comp[%d]=%d", 5+i, comp[5+i])
+		}
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	e := gen.RMAT(8, 8, gen.Config{Seed: 2, NoSelfLoops: true})
+	g := FromMatrix(e.Matrix())
+	r := PageRank(g, 0.85, 50)
+	sum := 0.0
+	for _, x := range r {
+		if x < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks must sum to 1, got %v", sum)
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// All leaves point at the hub: hub rank must dominate.
+	el := &gen.EdgeList{N: 6}
+	for i := 1; i < 6; i++ {
+		el.Src = append(el.Src, i)
+		el.Dst = append(el.Dst, 0)
+		el.W = append(el.W, 1)
+	}
+	g := FromMatrix(el.Matrix())
+	r := PageRank(g, 0.85, 60)
+	for i := 1; i < 6; i++ {
+		if r[0] <= r[i] {
+			t.Fatalf("hub rank %v not dominant over leaf %v", r[0], r[i])
+		}
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	// K4 has 4 triangles.
+	g := FromMatrix(gen.Complete(4, gen.Config{Undirected: true}).Matrix())
+	if c := TriangleCount(g); c != 4 {
+		t.Fatalf("K4 triangles=%d", c)
+	}
+	// A ring has none.
+	ring := FromMatrix(gen.Ring(6, gen.Config{Undirected: true}).Matrix())
+	if c := TriangleCount(ring); c != 0 {
+		t.Fatalf("ring triangles=%d", c)
+	}
+	// K5: C(5,3)=10.
+	k5 := FromMatrix(gen.Complete(5, gen.Config{Undirected: true}).Matrix())
+	if c := TriangleCount(k5); c != 10 {
+		t.Fatalf("K5 triangles=%d", c)
+	}
+}
+
+func TestGreedyColoringValid(t *testing.T) {
+	e := gen.ErdosRenyi(80, 600, gen.Config{Seed: 6, Undirected: true, NoSelfLoops: true})
+	g := FromMatrix(e.Matrix())
+	colour, used := GreedyColoring(g)
+	if used < 1 {
+		t.Fatal("no colours")
+	}
+	for u := 0; u < g.N; u++ {
+		if colour[u] < 1 || colour[u] > used {
+			t.Fatalf("colour[%d]=%d", u, colour[u])
+		}
+		adj, _ := g.Row(u)
+		for _, v := range adj {
+			if v != u && colour[v] == colour[u] {
+				t.Fatalf("adjacent %d,%d share colour %d", u, v, colour[u])
+			}
+		}
+	}
+}
+
+func TestGreedyMISValid(t *testing.T) {
+	e := gen.ErdosRenyi(80, 500, gen.Config{Seed: 7, Undirected: true, NoSelfLoops: true})
+	g := FromMatrix(e.Matrix())
+	in := GreedyMIS(g)
+	for u := 0; u < g.N; u++ {
+		adj, _ := g.Row(u)
+		if in[u] {
+			for _, v := range adj {
+				if v != u && in[v] {
+					t.Fatalf("independence violated at %d-%d", u, v)
+				}
+			}
+		} else {
+			// Maximality: some neighbour is in the set.
+			ok := false
+			for _, v := range adj {
+				if in[v] {
+					ok = true
+					break
+				}
+			}
+			if !ok && len(adj) > 0 {
+				t.Fatalf("maximality violated at %d", u)
+			}
+		}
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// K4 plus a pendant vertex: K4 members have core 3, pendant core 1.
+	el := &gen.EdgeList{N: 5}
+	add := func(u, v int) {
+		el.Src = append(el.Src, u, v)
+		el.Dst = append(el.Dst, v, u)
+		el.W = append(el.W, 1, 1)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			add(i, j)
+		}
+	}
+	add(0, 4)
+	g := FromMatrix(el.Matrix())
+	core := KCoreDecomposition(g)
+	for i := 0; i < 4; i++ {
+		if core[i] != 3 {
+			t.Fatalf("core[%d]=%d want 3", i, core[i])
+		}
+	}
+	if core[4] != 1 {
+		t.Fatalf("core[4]=%d want 1", core[4])
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Undirected path 0-1-2-3-4: interior vertices have the highest BC;
+	// vertex 2 is on 4 shortest pairs (each direction): bc[2]=8? Brandes
+	// counts ordered pairs; for the path of 5, bc[2] = 2*(2*2) = 8.
+	el := &gen.EdgeList{N: 5}
+	for i := 0; i+1 < 5; i++ {
+		el.Src = append(el.Src, i, i+1)
+		el.Dst = append(el.Dst, i+1, i)
+		el.W = append(el.W, 1, 1)
+	}
+	g := FromMatrix(el.Matrix())
+	bc := BetweennessCentrality(g)
+	if bc[0] != 0 || bc[4] != 0 {
+		t.Fatalf("endpoints: %v", bc)
+	}
+	if bc[2] != 8 {
+		t.Fatalf("bc[2]=%v want 8", bc[2])
+	}
+	if bc[1] != 6 || bc[3] != 6 {
+		t.Fatalf("bc[1]=%v bc[3]=%v want 6", bc[1], bc[3])
+	}
+}

@@ -1,0 +1,181 @@
+package grb
+
+// Apply and Select of Table I (Select is the GrB_select of the v1.3+ API,
+// needed by the triangle-counting and k-truss algorithms for tril/triu and
+// value thresholding).
+
+// ApplyMatrix computes C⟨M⟩ ⊙= f(A) element-wise.
+func ApplyMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], f UnaryOp[A, T], a *Matrix[A], desc *Descriptor) error {
+	if c == nil || a == nil || f == nil {
+		return ErrUninitialized
+	}
+	return applyIdxMatrix(c, mask, accum, func(x A, _, _ int) T { return f(x) }, a, desc)
+}
+
+// ApplyIndexMatrix computes C⟨M⟩ ⊙= f(A(i,j), i, j).
+func ApplyIndexMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], f IndexUnaryOp[A, T], a *Matrix[A], desc *Descriptor) error {
+	if c == nil || a == nil || f == nil {
+		return ErrUninitialized
+	}
+	return applyIdxMatrix(c, mask, accum, f, a, desc)
+}
+
+func applyIdxMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], f IndexUnaryOp[A, T], a *Matrix[A], desc *Descriptor) error {
+	d := desc.get()
+	ar, ac := a.nr, a.nc
+	if d.TranA {
+		ar, ac = ac, ar
+	}
+	if c.nr != ar || c.nc != ac {
+		return ErrDimensionMismatch
+	}
+	ca := orientedCSR(a, d.TranA)
+	z := &cs[T]{nmajor: ar, nminor: ac}
+	z.p = append([]int(nil), ca.p...)
+	if ca.h != nil {
+		z.h = append([]int(nil), ca.h...)
+	}
+	z.i = append([]int(nil), ca.i...)
+	z.x = make([]T, len(ca.x))
+	parallelRanges(ca.nvecs(), 64, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			row := ca.majorOf(k)
+			for t := ca.p[k]; t < ca.p[k+1]; t++ {
+				z.x[t] = f(ca.x[t], row, ca.i[t])
+			}
+		}
+	})
+	return writeMatrixResult(c, mask, accum, z, d)
+}
+
+// ApplyVector computes w⟨m⟩ ⊙= f(u) element-wise.
+func ApplyVector[A, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], f UnaryOp[A, T], u *Vector[A], desc *Descriptor) error {
+	if w == nil || u == nil || f == nil {
+		return ErrUninitialized
+	}
+	return ApplyIndexVector(w, mask, accum, func(x A, _, _ int) T { return f(x) }, u, desc)
+}
+
+// ApplyIndexVector computes w⟨m⟩ ⊙= f(u(i), i, 0).
+func ApplyIndexVector[A, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], f IndexUnaryOp[A, T], u *Vector[A], desc *Descriptor) error {
+	if w == nil || u == nil || f == nil {
+		return ErrUninitialized
+	}
+	if w.n != u.n {
+		return ErrDimensionMismatch
+	}
+	d := desc.get()
+	ui, ux := u.materialized()
+	zi := append([]int(nil), ui...)
+	zx := make([]T, len(ux))
+	for k := range ux {
+		zx[k] = f(ux[k], ui[k], 0)
+	}
+	return writeVectorResult(w, mask, accum, zi, zx, d)
+}
+
+// SelectMatrix computes C⟨M⟩ ⊙= A(keep), retaining only the entries for
+// which keep(a, i, j) is true. tril, triu, value filters and diagonal
+// extraction are all instances.
+func SelectMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], keep IndexUnaryOp[T, bool], a *Matrix[T], desc *Descriptor) error {
+	if c == nil || a == nil || keep == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	ar, ac := a.nr, a.nc
+	if d.TranA {
+		ar, ac = ac, ar
+	}
+	if c.nr != ar || c.nc != ac {
+		return ErrDimensionMismatch
+	}
+	ca := orientedCSR(a, d.TranA)
+	staging := newRowSlices[T](ca.nvecs())
+	parallelRanges(ca.nvecs(), 64, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			row := ca.majorOf(k)
+			ci, cx := ca.vec(k)
+			for t := range ci {
+				if keep(cx[t], row, ci[t]) {
+					staging.idx[k] = append(staging.idx[k], ci[t])
+					staging.val[k] = append(staging.val[k], cx[t])
+				}
+			}
+		}
+	})
+	var z *cs[T]
+	if ca.h != nil {
+		z = staging.stitch(ar, ac, ca.h)
+	} else {
+		z = staging.stitch(ar, ac, nil)
+	}
+	return writeMatrixResult(c, mask, accum, z, d)
+}
+
+// SelectVector computes w⟨m⟩ ⊙= u(keep).
+func SelectVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], keep IndexUnaryOp[T, bool], u *Vector[T], desc *Descriptor) error {
+	if w == nil || u == nil || keep == nil {
+		return ErrUninitialized
+	}
+	if w.n != u.n {
+		return ErrDimensionMismatch
+	}
+	d := desc.get()
+	ui, ux := u.materialized()
+	var zi []int
+	var zx []T
+	for k := range ui {
+		if keep(ux[k], ui[k], 0) {
+			zi = append(zi, ui[k])
+			zx = append(zx, ux[k])
+		}
+	}
+	return writeVectorResult(w, mask, accum, zi, zx, d)
+}
+
+// Common select predicates.
+
+// Tril keeps entries on or below the k-th diagonal (j-i <= k).
+func Tril[T any](k int) IndexUnaryOp[T, bool] {
+	return func(_ T, i, j int) bool { return j-i <= k }
+}
+
+// Triu keeps entries on or above the k-th diagonal (j-i >= k).
+func Triu[T any](k int) IndexUnaryOp[T, bool] {
+	return func(_ T, i, j int) bool { return j-i >= k }
+}
+
+// Diag keeps entries exactly on the k-th diagonal.
+func Diag[T any](k int) IndexUnaryOp[T, bool] {
+	return func(_ T, i, j int) bool { return j-i == k }
+}
+
+// OffDiag keeps entries off the main diagonal.
+func OffDiag[T any]() IndexUnaryOp[T, bool] {
+	return func(_ T, i, j int) bool { return i != j }
+}
+
+// ValueGT keeps entries strictly greater than the threshold.
+func ValueGT[T Number](threshold T) IndexUnaryOp[T, bool] {
+	return func(x T, _, _ int) bool { return x > threshold }
+}
+
+// ValueGE keeps entries greater than or equal to the threshold.
+func ValueGE[T Number](threshold T) IndexUnaryOp[T, bool] {
+	return func(x T, _, _ int) bool { return x >= threshold }
+}
+
+// ValueLT keeps entries strictly less than the threshold.
+func ValueLT[T Number](threshold T) IndexUnaryOp[T, bool] {
+	return func(x T, _, _ int) bool { return x < threshold }
+}
+
+// ValueNE keeps entries different from the given value.
+func ValueNE[T comparable](v T) IndexUnaryOp[T, bool] {
+	return func(x T, _, _ int) bool { return x != v }
+}
+
+// ValueEQ keeps entries equal to the given value.
+func ValueEQ[T comparable](v T) IndexUnaryOp[T, bool] {
+	return func(x T, _, _ int) bool { return x == v }
+}

@@ -1,0 +1,159 @@
+package grb
+
+import "testing"
+
+func TestApplyBind(t *testing.T) {
+	u := MustVector[int64](5)
+	_ = u.SetElement(1, 10)
+	_ = u.SetElement(3, 20)
+
+	w := MustVector[int64](5)
+	if err := ApplyVectorBind1st[int64, int64, int64, bool](w, nil, nil, Minus[int64](), 100, u, nil); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := w.GetElement(1); x != 90 {
+		t.Fatalf("bind1st: %d", x)
+	}
+	if err := ApplyVectorBind2nd[int64, int64, int64, bool](w, nil, nil, Minus[int64](), u, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := w.GetElement(3); x != 17 {
+		t.Fatalf("bind2nd: %d", x)
+	}
+
+	a := MustMatrix[float64](3, 3)
+	_ = a.SetElement(0, 2, 4)
+	c := MustMatrix[float64](3, 3)
+	if err := ApplyMatrixBind1st[float64, float64, float64, bool](c, nil, nil, Times[float64](), 0.5, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := c.GetElement(0, 2); x != 2 {
+		t.Fatalf("matrix bind1st: %v", x)
+	}
+	if err := ApplyMatrixBind2nd[float64, float64, bool, bool](
+		MustMatrix[bool](3, 3), nil, nil, Gt[float64](), a, 3.0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Nil op rejected.
+	if err := ApplyVectorBind1st[int64, int64, int64, bool](w, nil, nil, nil, 1, u, nil); err != ErrUninitialized {
+		t.Fatal("nil op must be rejected")
+	}
+}
+
+func TestDiagMatrixAndExtract(t *testing.T) {
+	v := MustVector[int64](3)
+	_ = v.SetElement(0, 5)
+	_ = v.SetElement(2, 7)
+
+	// Main diagonal.
+	d0, err := DiagMatrix(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Nrows() != 3 || d0.Nvals() != 2 {
+		t.Fatalf("diag0 shape %dx%d nvals=%d", d0.Nrows(), d0.Ncols(), d0.Nvals())
+	}
+	if x, _ := d0.GetElement(2, 2); x != 7 {
+		t.Fatal("diag0 value")
+	}
+
+	// Superdiagonal k=1: dimension 4, entry (0,1) and (2,3).
+	d1, err := DiagMatrix(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Nrows() != 4 {
+		t.Fatalf("diag1 dim %d", d1.Nrows())
+	}
+	if x, _ := d1.GetElement(0, 1); x != 5 {
+		t.Fatal("diag1 entry")
+	}
+
+	// Subdiagonal k=-2: entry (2,0) and (4,2).
+	d2, err := DiagMatrix(v, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := d2.GetElement(4, 2); x != 7 {
+		t.Fatal("diag-2 entry")
+	}
+
+	// Round trip via MatrixDiag.
+	back, err := MatrixDiag(d1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != 3 || back.Nvals() != 2 {
+		t.Fatalf("extract diag: size=%d nvals=%d", back.Size(), back.Nvals())
+	}
+	if x, _ := back.GetElement(2); x != 7 {
+		t.Fatal("extract diag value")
+	}
+
+	// Extracting an empty diagonal.
+	a := MustMatrix[int64](3, 3)
+	_ = a.SetElement(1, 0, 9)
+	sub, err := MatrixDiag(a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := sub.GetElement(0); x != 9 {
+		t.Fatalf("subdiag: %d", x)
+	}
+	if sub.Size() != 2 {
+		t.Fatalf("subdiag len %d", sub.Size())
+	}
+}
+
+func TestMatrixResize(t *testing.T) {
+	a := MustMatrix[int](4, 4)
+	_ = a.SetElement(0, 0, 1)
+	_ = a.SetElement(3, 3, 2)
+	_ = a.SetElement(1, 2, 3)
+	if err := a.Resize(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.Nrows() != 2 || a.Ncols() != 3 {
+		t.Fatal("dims")
+	}
+	if a.Nvals() != 2 {
+		t.Fatalf("nvals=%d", a.Nvals()) // (3,3) dropped
+	}
+	if x, _ := a.GetElement(1, 2); x != 3 {
+		t.Fatal("surviving entry")
+	}
+	// Growing keeps everything.
+	if err := a.Resize(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if a.Nvals() != 2 {
+		t.Fatal("grow should keep entries")
+	}
+	if err := a.SetElement(9, 9, 4); err != nil {
+		t.Fatal(err)
+	}
+	if a.Resize(-1, 2) != ErrInvalidValue {
+		t.Fatal("negative resize")
+	}
+}
+
+func TestVectorResize(t *testing.T) {
+	v := MustVector[int](6)
+	_ = v.SetElement(1, 10)
+	_ = v.SetElement(5, 50)
+	if err := v.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 3 || v.Nvals() != 1 {
+		t.Fatalf("size=%d nvals=%d", v.Size(), v.Nvals())
+	}
+	if err := v.Resize(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElement(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if v.Resize(-1) != ErrInvalidValue {
+		t.Fatal("negative resize")
+	}
+}

@@ -1,0 +1,147 @@
+package grb
+
+// Concat and Split — the GxB_Matrix_concat / GxB_Matrix_split tile
+// operations of SuiteSparse: assembling a matrix from a grid of blocks
+// and cutting one back apart. Bipartite constructions and blocked
+// algorithms use these to avoid tuple-level surgery.
+
+// Concat assembles tiles into one matrix. tiles is a row-major grid with
+// rows×cols entries; every tile in a grid row must share its height, and
+// every tile in a grid column its width.
+func Concat[T any](tiles [][]*Matrix[T]) (*Matrix[T], error) {
+	if len(tiles) == 0 {
+		return nil, ErrInvalidValue
+	}
+	gcols := len(tiles[0])
+	if gcols == 0 {
+		return nil, ErrInvalidValue
+	}
+	rowH := make([]int, len(tiles))
+	colW := make([]int, gcols)
+	for r, row := range tiles {
+		if len(row) != gcols {
+			return nil, ErrInvalidValue
+		}
+		for c, tile := range row {
+			if tile == nil {
+				return nil, ErrUninitialized
+			}
+			if rowH[r] == 0 {
+				rowH[r] = tile.Nrows()
+			} else if rowH[r] != tile.Nrows() {
+				return nil, ErrDimensionMismatch
+			}
+			if colW[c] == 0 {
+				colW[c] = tile.Ncols()
+			} else if colW[c] != tile.Ncols() {
+				return nil, ErrDimensionMismatch
+			}
+		}
+	}
+	nr, nc := 0, 0
+	rowOff := make([]int, len(tiles))
+	colOff := make([]int, gcols)
+	for r, h := range rowH {
+		rowOff[r] = nr
+		nr += h
+	}
+	for c, w := range colW {
+		colOff[c] = nc
+		nc += w
+	}
+	out := MustMatrix[T](nr, nc)
+	var is, js []int
+	var xs []T
+	for r, row := range tiles {
+		for c, tile := range row {
+			ti, tj, tx := tile.ExtractTuples()
+			for k := range ti {
+				is = append(is, ti[k]+rowOff[r])
+				js = append(js, tj[k]+colOff[c])
+				xs = append(xs, tx[k])
+			}
+		}
+	}
+	if err := out.Build(is, js, xs, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Split cuts a into a grid of tiles with the given row heights and
+// column widths (which must sum to a's dimensions).
+func Split[T any](a *Matrix[T], rowHeights, colWidths []int) ([][]*Matrix[T], error) {
+	if a == nil {
+		return nil, ErrUninitialized
+	}
+	sumR, sumC := 0, 0
+	for _, h := range rowHeights {
+		if h < 0 {
+			return nil, ErrInvalidValue
+		}
+		sumR += h
+	}
+	for _, w := range colWidths {
+		if w < 0 {
+			return nil, ErrInvalidValue
+		}
+		sumC += w
+	}
+	if sumR != a.Nrows() || sumC != a.Ncols() {
+		return nil, ErrDimensionMismatch
+	}
+	rowOff := make([]int, len(rowHeights)+1)
+	for r, h := range rowHeights {
+		rowOff[r+1] = rowOff[r] + h
+	}
+	colOff := make([]int, len(colWidths)+1)
+	for c, w := range colWidths {
+		colOff[c+1] = colOff[c] + w
+	}
+	findBlock := func(off []int, x int) int {
+		lo, hi := 0, len(off)-1
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if off[mid] <= x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	type triple struct {
+		i, j int
+		x    T
+	}
+	grid := make([][][]triple, len(rowHeights))
+	for r := range grid {
+		grid[r] = make([][]triple, len(colWidths))
+	}
+	a.Iterate(func(i, j int, x T) bool {
+		r := findBlock(rowOff, i)
+		c := findBlock(colOff, j)
+		grid[r][c] = append(grid[r][c], triple{i - rowOff[r], j - colOff[c], x})
+		return true
+	})
+	out := make([][]*Matrix[T], len(rowHeights))
+	for r := range out {
+		out[r] = make([]*Matrix[T], len(colWidths))
+		for c := range out[r] {
+			tile := MustMatrix[T](rowHeights[r], colWidths[c])
+			ts := grid[r][c]
+			is := make([]int, len(ts))
+			js := make([]int, len(ts))
+			xs := make([]T, len(ts))
+			for k, tr := range ts {
+				is[k], js[k], xs[k] = tr.i, tr.j, tr.x
+			}
+			if err := tile.Build(is, js, xs, nil); err != nil {
+				return nil, err
+			}
+			out[r][c] = tile
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConcatAndSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := MustMatrix[int64](23, 31)
+	for k := 0; k < 200; k++ {
+		_ = a.SetElement(rng.Intn(23), rng.Intn(31), int64(k))
+	}
+	tiles, err := Split(a, []int{10, 13}, []int{7, 20, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 2 || len(tiles[0]) != 3 {
+		t.Fatal("grid shape")
+	}
+	if tiles[0][0].Nrows() != 10 || tiles[0][0].Ncols() != 7 {
+		t.Fatal("tile dims")
+	}
+	if tiles[1][2].Nrows() != 13 || tiles[1][2].Ncols() != 4 {
+		t.Fatal("tile dims (last)")
+	}
+	total := 0
+	for _, row := range tiles {
+		for _, tile := range row {
+			total += tile.Nvals()
+		}
+	}
+	if total != a.Nvals() {
+		t.Fatalf("entries lost: %d vs %d", total, a.Nvals())
+	}
+	// Reassemble.
+	b, err := Concat(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, aj, ax := a.ExtractTuples()
+	bi, bj, bx := b.ExtractTuples()
+	if len(ai) != len(bi) {
+		t.Fatal("nvals")
+	}
+	for k := range ai {
+		if ai[k] != bi[k] || aj[k] != bj[k] || ax[k] != bx[k] {
+			t.Fatalf("entry %d changed", k)
+		}
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	a := MustMatrix[int](2, 3)
+	b := MustMatrix[int](2, 2)
+	c := MustMatrix[int](1, 3)
+	if _, err := Concat([][]*Matrix[int]{}); err != ErrInvalidValue {
+		t.Fatal("empty grid")
+	}
+	if _, err := Concat([][]*Matrix[int]{{a, nil}}); err != ErrUninitialized {
+		t.Fatal("nil tile")
+	}
+	// Mismatched heights in one grid row.
+	if _, err := Concat([][]*Matrix[int]{{a, c}}); err != ErrDimensionMismatch {
+		t.Fatal("row heights")
+	}
+	// Mismatched widths in one grid column.
+	if _, err := Concat([][]*Matrix[int]{{a}, {b}}); err != ErrDimensionMismatch {
+		t.Fatal("column widths")
+	}
+	// Ragged grid.
+	if _, err := Concat([][]*Matrix[int]{{a, a}, {a}}); err != ErrInvalidValue {
+		t.Fatal("ragged")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	a := MustMatrix[int](4, 4)
+	if _, err := Split(a, []int{2, 3}, []int{4}); err != ErrDimensionMismatch {
+		t.Fatal("row sum")
+	}
+	if _, err := Split(a, []int{4}, []int{-1, 5}); err != ErrInvalidValue {
+		t.Fatal("negative width")
+	}
+	if _, err := Split[int](nil, []int{1}, []int{1}); err != ErrUninitialized {
+		t.Fatal("nil matrix")
+	}
+}
+
+func TestConcatBipartiteBlock(t *testing.T) {
+	// The classic use: embed a biadjacency B into [[0 B],[Bᵀ 0]].
+	bi := MustMatrix[float64](2, 3)
+	_ = bi.SetElement(0, 1, 5)
+	_ = bi.SetElement(1, 2, 7)
+	bt := MustMatrix[float64](3, 2)
+	if err := Transpose[float64, bool](bt, nil, nil, bi, nil); err != nil {
+		t.Fatal(err)
+	}
+	z22 := MustMatrix[float64](2, 2)
+	z33 := MustMatrix[float64](3, 3)
+	g, err := Concat([][]*Matrix[float64]{{z22, bi}, {bt, z33}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nrows() != 5 || g.Nvals() != 4 {
+		t.Fatalf("block graph: %dx%d nvals=%d", g.Nrows(), g.Ncols(), g.Nvals())
+	}
+	if v, _ := g.GetElement(0, 3); v != 5 {
+		t.Fatal("B block placement")
+	}
+	if v, _ := g.GetElement(3, 0); v != 5 {
+		t.Fatal("Bᵀ block placement")
+	}
+}

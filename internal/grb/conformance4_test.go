@@ -1,0 +1,94 @@
+package grb_test
+
+// Fourth conformance wave: the full option product on mxm — transposed
+// inputs combined with masks, accumulators and replace — plus reduction
+// early-exit semantics.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/grb/ref"
+)
+
+func TestConformanceMxMFullOptionProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 5; trial++ {
+		m := 1 + rng.Intn(15)
+		k := 1 + rng.Intn(15)
+		n := 1 + rng.Intn(15)
+		mask := randMatrix(rng, m, n, 0.4)
+		cInit := randMatrix(rng, m, n, 0.2)
+		for _, tr := range []struct{ ta, tb bool }{{false, false}, {true, false}, {false, true}, {true, true}} {
+			ar, ac := m, k
+			if tr.ta {
+				ar, ac = k, m
+			}
+			br, bc := k, n
+			if tr.tb {
+				br, bc = n, k
+			}
+			a := randMatrix(rng, ar, ac, 0.25)
+			b := randMatrix(rng, br, bc, 0.25)
+			for _, mc := range maskCases() {
+				for _, method := range []grb.MxMMethod{grb.MxMGustavson, grb.MxMDot, grb.MxMHeap} {
+					name := fmt.Sprintf("t%d/ta=%v,tb=%v/%s/m%d", trial, tr.ta, tr.tb, mc.name, method)
+					t.Run(name, func(t *testing.T) {
+						d := mc.desc
+						d.TranA, d.TranB = tr.ta, tr.tb
+						d.Method = method
+						var gm *grb.Matrix[int64]
+						var rm *ref.Mat[int64]
+						if mc.useMask {
+							gm = mask
+							rm = ref.FromMatrix(mask)
+						}
+						c := cInit.Dup()
+						if err := grb.MxM(c, gm, grb.Plus[int64](), grb.PlusTimes[int64](), a, b, &d); err != nil {
+							t.Fatal(err)
+						}
+						want := ref.FromMatrix(cInit)
+						ref.MxM(want, rm, grb.Plus[int64](), grb.PlusTimes[int64](), ref.FromMatrix(a), ref.FromMatrix(b), refDesc(d))
+						eqMat(t, c, want)
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestReduceTerminalEarlyExit(t *testing.T) {
+	// A reduction with a terminal monoid must return the terminal value
+	// even if later elements would be "larger" in some other order — and
+	// must not touch a poisoned operator after hitting it.
+	n := 1000
+	v := grb.MustVector[bool](n)
+	for i := 0; i < n; i++ {
+		_ = v.SetElement(i, i == 3)
+	}
+	got, err := grb.ReduceVectorToScalar(grb.LOrMonoid(), v)
+	if err != nil || got != true {
+		t.Fatalf("lor reduce: %v %v", got, err)
+	}
+	// MIN monoid with the terminal value placed early.
+	w := grb.MustVector[int32](n)
+	for i := 0; i < n; i++ {
+		x := int32(i + 1)
+		if i == 5 {
+			x = -(1 << 31) // MinInt32: terminal
+		}
+		_ = w.SetElement(i, x)
+	}
+	gotMin, err := grb.ReduceVectorToScalar(grb.MinMonoid[int32](), w)
+	if err != nil || gotMin != -(1<<31) {
+		t.Fatalf("min reduce: %v %v", gotMin, err)
+	}
+	// Empty vector reduces to the identity.
+	empty := grb.MustVector[int32](4)
+	id, err := grb.ReduceVectorToScalar(grb.PlusMonoid[int32](), empty)
+	if err != nil || id != 0 {
+		t.Fatalf("empty reduce: %v %v", id, err)
+	}
+}

@@ -1,0 +1,569 @@
+package grb_test
+
+// Conformance tests in the style the paper describes for SuiteSparse
+// (§II-A): every operation is executed both by the fast sparse kernels and
+// by the dense reference mimic (internal/grb/ref), and the results must be
+// identical in both value and pattern.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/grb/ref"
+)
+
+// randMatrix builds a random nr×nc matrix with roughly density*nr*nc
+// entries and small integer values (exact in every arithmetic order).
+func randMatrix(rng *rand.Rand, nr, nc int, density float64) *grb.Matrix[int64] {
+	a := grb.MustMatrix[int64](nr, nc)
+	n := int(density * float64(nr) * float64(nc))
+	is := make([]int, n)
+	js := make([]int, n)
+	xs := make([]int64, n)
+	for k := 0; k < n; k++ {
+		is[k] = rng.Intn(nr)
+		js[k] = rng.Intn(nc)
+		xs[k] = int64(rng.Intn(9) - 4)
+	}
+	if err := a.Build(is, js, xs, grb.Plus[int64]()); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func randVector(rng *rand.Rand, n int, density float64) *grb.Vector[int64] {
+	v := grb.MustVector[int64](n)
+	cnt := int(density * float64(n))
+	is := make([]int, cnt)
+	xs := make([]int64, cnt)
+	for k := 0; k < cnt; k++ {
+		is[k] = rng.Intn(n)
+		xs[k] = int64(rng.Intn(9) - 4)
+	}
+	if err := v.Build(is, xs, grb.Plus[int64]()); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// eqMat fails the test unless got and want agree in value and pattern.
+func eqMat(t *testing.T, got *grb.Matrix[int64], want *ref.Mat[int64]) {
+	t.Helper()
+	if got.Nrows() != want.NRows || got.Ncols() != want.NCols {
+		t.Fatalf("dims: got %dx%d want %dx%d", got.Nrows(), got.Ncols(), want.NRows, want.NCols)
+	}
+	seen := ref.NewMat[bool](want.NRows, want.NCols)
+	is, js, xs := got.ExtractTuples()
+	for k := range is {
+		i, j := is[k], js[k]
+		if !want.Set[i][j] {
+			t.Fatalf("spurious entry at (%d,%d) = %v", i, j, xs[k])
+		}
+		if want.Val[i][j] != xs[k] {
+			t.Fatalf("value at (%d,%d): got %v want %v", i, j, xs[k], want.Val[i][j])
+		}
+		seen.Set[i][j] = true
+	}
+	for i := 0; i < want.NRows; i++ {
+		for j := 0; j < want.NCols; j++ {
+			if want.Set[i][j] && !seen.Set[i][j] {
+				t.Fatalf("missing entry at (%d,%d) = %v", i, j, want.Val[i][j])
+			}
+		}
+	}
+}
+
+func eqVec(t *testing.T, got *grb.Vector[int64], want *ref.Vec[int64]) {
+	t.Helper()
+	if got.Size() != want.N {
+		t.Fatalf("size: got %d want %d", got.Size(), want.N)
+	}
+	seen := make([]bool, want.N)
+	is, xs := got.ExtractTuples()
+	for k := range is {
+		if !want.Set[is[k]] {
+			t.Fatalf("spurious entry at %d = %v", is[k], xs[k])
+		}
+		if want.Val[is[k]] != xs[k] {
+			t.Fatalf("value at %d: got %v want %v", is[k], xs[k], want.Val[is[k]])
+		}
+		seen[is[k]] = true
+	}
+	for i := range seen {
+		if want.Set[i] && !seen[i] {
+			t.Fatalf("missing entry at %d = %v", i, want.Val[i])
+		}
+	}
+}
+
+// maskCase enumerates the mask configurations every op is tested under.
+type maskCase struct {
+	name    string
+	useMask bool
+	desc    grb.Descriptor
+}
+
+func maskCases() []maskCase {
+	return []maskCase{
+		{"nomask", false, grb.Descriptor{}},
+		{"mask", true, grb.Descriptor{}},
+		{"comp", true, grb.Descriptor{Comp: true}},
+		{"replace", true, grb.Descriptor{Replace: true}},
+		{"comp+replace", true, grb.Descriptor{Comp: true, Replace: true}},
+	}
+}
+
+func refDesc(d grb.Descriptor) ref.Desc {
+	return ref.Desc{
+		TranA: d.TranA, TranB: d.TranB,
+		Replace: d.Replace, Comp: d.Comp, MaskValue: d.MaskValue,
+	}
+}
+
+func TestConformanceMxM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	methods := []struct {
+		name string
+		m    grb.MxMMethod
+	}{
+		{"gustavson", grb.MxMGustavson},
+		{"dot", grb.MxMDot},
+		{"heap", grb.MxMHeap},
+	}
+	for trial := 0; trial < 12; trial++ {
+		m := 1 + rng.Intn(30)
+		k := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(30)
+		a := randMatrix(rng, m, k, 0.2)
+		b := randMatrix(rng, k, n, 0.2)
+		mask := randMatrix(rng, m, n, 0.3)
+		cInit := randMatrix(rng, m, n, 0.15)
+		for _, mc := range maskCases() {
+			for _, method := range methods {
+				for _, withAccum := range []bool{false, true} {
+					name := fmt.Sprintf("t%d/%s/%s/accum=%v", trial, mc.name, method.name, withAccum)
+					t.Run(name, func(t *testing.T) {
+						d := mc.desc
+						d.Method = method.m
+						var accum grb.BinaryOp[int64, int64, int64]
+						if withAccum {
+							accum = grb.Plus[int64]()
+						}
+						var gm *grb.Matrix[int64]
+						var rm *ref.Mat[int64]
+						if mc.useMask {
+							gm = mask
+							rm = ref.FromMatrix(mask)
+						}
+						c := cInit.Dup()
+						if err := grb.MxM(c, gm, accum, grb.PlusTimes[int64](), a, b, &d); err != nil {
+							t.Fatal(err)
+						}
+						want := ref.FromMatrix(cInit)
+						ref.MxM(want, rm, accum, grb.PlusTimes[int64](), ref.FromMatrix(a), ref.FromMatrix(b), refDesc(d))
+						eqMat(t, c, want)
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestConformanceMxMTransposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		m := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(20)
+		n := 1 + rng.Intn(20)
+		for _, tc := range []struct{ ta, tb bool }{{true, false}, {false, true}, {true, true}} {
+			ar, ac := m, k
+			if tc.ta {
+				ar, ac = k, m
+			}
+			br, bc := k, n
+			if tc.tb {
+				br, bc = n, k
+			}
+			a := randMatrix(rng, ar, ac, 0.2)
+			b := randMatrix(rng, br, bc, 0.2)
+			c := grb.MustMatrix[int64](m, n)
+			d := grb.Descriptor{TranA: tc.ta, TranB: tc.tb}
+			if err := grb.MxM[int64, int64, int64, bool](c, nil, nil, grb.PlusTimes[int64](), a, b, &d); err != nil {
+				t.Fatal(err)
+			}
+			want := ref.NewMat[int64](m, n)
+			ref.MxM[int64, int64, int64, bool](want, nil, nil, grb.PlusTimes[int64](), ref.FromMatrix(a), ref.FromMatrix(b), refDesc(d))
+			eqMat(t, c, want)
+		}
+	}
+}
+
+func TestConformanceVxMAndMxV(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dirs := []struct {
+		name string
+		d    grb.Direction
+	}{{"push", grb.DirPush}, {"pull", grb.DirPull}, {"auto", grb.DirAuto}}
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		a := randMatrix(rng, m, n, 0.15)
+		u := randVector(rng, m, 0.4)
+		v := randVector(rng, n, 0.4)
+		maskN := randVector(rng, n, 0.5)
+		maskM := randVector(rng, m, 0.5)
+		wInitN := randVector(rng, n, 0.3)
+		wInitM := randVector(rng, m, 0.3)
+		for _, mc := range maskCases() {
+			for _, dir := range dirs {
+				for _, withAccum := range []bool{false, true} {
+					name := fmt.Sprintf("t%d/%s/%s/accum=%v", trial, mc.name, dir.name, withAccum)
+					t.Run("vxm/"+name, func(t *testing.T) {
+						d := mc.desc
+						d.Dir = dir.d
+						var accum grb.BinaryOp[int64, int64, int64]
+						if withAccum {
+							accum = grb.Plus[int64]()
+						}
+						var gm *grb.Vector[int64]
+						var rm *ref.Vec[int64]
+						if mc.useMask {
+							gm = maskN
+							rm = ref.FromVector(maskN)
+						}
+						w := wInitN.Dup()
+						if err := grb.VxM(w, gm, accum, grb.PlusTimes[int64](), u, a, &d); err != nil {
+							t.Fatal(err)
+						}
+						want := ref.FromVector(wInitN)
+						ref.VxM(want, rm, accum, grb.PlusTimes[int64](), ref.FromVector(u), ref.FromMatrix(a), refDesc(d))
+						eqVec(t, w, want)
+					})
+					t.Run("mxv/"+name, func(t *testing.T) {
+						d := mc.desc
+						d.Dir = dir.d
+						var accum grb.BinaryOp[int64, int64, int64]
+						if withAccum {
+							accum = grb.Plus[int64]()
+						}
+						var gm *grb.Vector[int64]
+						var rm *ref.Vec[int64]
+						if mc.useMask {
+							gm = maskM
+							rm = ref.FromVector(maskM)
+						}
+						w := wInitM.Dup()
+						if err := grb.MxV(w, gm, accum, grb.PlusTimes[int64](), a, v, &d); err != nil {
+							t.Fatal(err)
+						}
+						want := ref.FromVector(wInitM)
+						ref.MxV(want, rm, accum, grb.PlusTimes[int64](), ref.FromMatrix(a), ref.FromVector(v), refDesc(d))
+						eqVec(t, w, want)
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestConformanceVxMTransposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(30)
+		a := randMatrix(rng, m, n, 0.2)
+		u := randVector(rng, n, 0.4) // multiplies Aᵀ (n×m)
+		for _, dir := range []grb.Direction{grb.DirPush, grb.DirPull} {
+			w := grb.MustVector[int64](m)
+			d := grb.Descriptor{TranA: true, Dir: dir}
+			if err := grb.VxM[int64, int64, int64, bool](w, nil, nil, grb.PlusTimes[int64](), u, a, &d); err != nil {
+				t.Fatal(err)
+			}
+			want := ref.NewVec[int64](m)
+			ref.VxM[int64, int64, int64, bool](want, nil, nil, grb.PlusTimes[int64](), ref.FromVector(u), ref.FromMatrix(a), refDesc(d))
+			eqVec(t, w, want)
+		}
+	}
+}
+
+func TestConformanceEWise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(30)
+		a := randMatrix(rng, m, n, 0.2)
+		b := randMatrix(rng, m, n, 0.2)
+		mask := randMatrix(rng, m, n, 0.4)
+		cInit := randMatrix(rng, m, n, 0.2)
+		for _, mc := range maskCases() {
+			for _, opName := range []string{"add", "mult"} {
+				t.Run(fmt.Sprintf("t%d/%s/%s", trial, mc.name, opName), func(t *testing.T) {
+					var gm *grb.Matrix[int64]
+					var rm *ref.Mat[int64]
+					if mc.useMask {
+						gm = mask
+						rm = ref.FromMatrix(mask)
+					}
+					c := cInit.Dup()
+					want := ref.FromMatrix(cInit)
+					d := mc.desc
+					if opName == "add" {
+						if err := grb.EWiseAddMatrix(c, gm, nil, grb.Plus[int64](), a, b, &d); err != nil {
+							t.Fatal(err)
+						}
+						ref.EWiseAddMat(want, rm, nil, grb.Plus[int64](), ref.FromMatrix(a), ref.FromMatrix(b), refDesc(d))
+					} else {
+						if err := grb.EWiseMultMatrix(c, gm, nil, grb.Times[int64](), a, b, &d); err != nil {
+							t.Fatal(err)
+						}
+						ref.EWiseMultMat(want, rm, nil, grb.Times[int64](), ref.FromMatrix(a), ref.FromMatrix(b), refDesc(d))
+					}
+					eqMat(t, c, want)
+				})
+			}
+		}
+		// Vector forms.
+		u := randVector(rng, n, 0.4)
+		v := randVector(rng, n, 0.4)
+		w := grb.MustVector[int64](n)
+		if err := grb.EWiseAddVector[int64, bool](w, nil, nil, grb.MinOp[int64](), u, v, nil); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.NewVec[int64](n)
+		ref.EWiseAddVec[int64, bool](want, nil, nil, grb.MinOp[int64](), ref.FromVector(u), ref.FromVector(v), ref.Desc{})
+		eqVec(t, w, want)
+
+		w2 := grb.MustVector[int64](n)
+		if err := grb.EWiseMultVector[int64, int64, int64, bool](w2, nil, nil, grb.Times[int64](), u, v, nil); err != nil {
+			t.Fatal(err)
+		}
+		want2 := ref.NewVec[int64](n)
+		ref.EWiseMultVec[int64, int64, int64, bool](want2, nil, nil, grb.Times[int64](), ref.FromVector(u), ref.FromVector(v), ref.Desc{})
+		eqVec(t, w2, want2)
+	}
+}
+
+func TestConformanceApplySelectReduceTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(30)
+		a := randMatrix(rng, m, n, 0.25)
+		mask := randMatrix(rng, m, n, 0.4)
+		for _, mc := range maskCases() {
+			var gm *grb.Matrix[int64]
+			var rm *ref.Mat[int64]
+			if mc.useMask {
+				gm = mask
+				rm = ref.FromMatrix(mask)
+			}
+			d := mc.desc
+
+			t.Run(fmt.Sprintf("t%d/%s/apply", trial, mc.name), func(t *testing.T) {
+				c := grb.MustMatrix[int64](m, n)
+				double := func(x int64) int64 { return 2 * x }
+				if err := grb.ApplyMatrix(c, gm, nil, double, a, &d); err != nil {
+					t.Fatal(err)
+				}
+				want := ref.NewMat[int64](m, n)
+				ref.Apply(want, rm, nil, double, ref.FromMatrix(a), refDesc(d))
+				eqMat(t, c, want)
+			})
+
+			t.Run(fmt.Sprintf("t%d/%s/select", trial, mc.name), func(t *testing.T) {
+				c := grb.MustMatrix[int64](m, n)
+				keep := grb.Tril[int64](0)
+				if err := grb.SelectMatrix(c, gm, nil, keep, a, &d); err != nil {
+					t.Fatal(err)
+				}
+				want := ref.NewMat[int64](m, n)
+				ref.Select(want, rm, nil, keep, ref.FromMatrix(a), refDesc(d))
+				eqMat(t, c, want)
+			})
+		}
+
+		// Transpose with mask on the transposed shape.
+		maskT := randMatrix(rng, n, m, 0.4)
+		for _, mc := range maskCases() {
+			t.Run(fmt.Sprintf("t%d/%s/transpose", trial, mc.name), func(t *testing.T) {
+				var gm *grb.Matrix[int64]
+				var rm *ref.Mat[int64]
+				if mc.useMask {
+					gm = maskT
+					rm = ref.FromMatrix(maskT)
+				}
+				d := mc.desc
+				c := grb.MustMatrix[int64](n, m)
+				if err := grb.Transpose(c, gm, nil, a, &d); err != nil {
+					t.Fatal(err)
+				}
+				want := ref.NewMat[int64](n, m)
+				ref.Transpose(want, rm, nil, ref.FromMatrix(a), refDesc(d))
+				eqMat(t, c, want)
+			})
+		}
+
+		// Row-wise reduction.
+		t.Run(fmt.Sprintf("t%d/reduce", trial), func(t *testing.T) {
+			w := grb.MustVector[int64](m)
+			if err := grb.ReduceMatrixToVector[int64, bool](w, nil, nil, grb.PlusMonoid[int64](), a, nil); err != nil {
+				t.Fatal(err)
+			}
+			want := ref.NewVec[int64](m)
+			ref.ReduceMatToVec[int64, bool](want, nil, nil, grb.PlusMonoid[int64](), ref.FromMatrix(a), ref.Desc{})
+			eqVec(t, w, want)
+
+			got, err := grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exp := ref.ReduceMatToScalar(grb.PlusMonoid[int64](), ref.FromMatrix(a)); got != exp {
+				t.Fatalf("scalar reduce: got %d want %d", got, exp)
+			}
+		})
+	}
+}
+
+func TestConformanceExtractAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 12; trial++ {
+		m := 2 + rng.Intn(30)
+		n := 2 + rng.Intn(30)
+		a := randMatrix(rng, m, n, 0.25)
+
+		// Extract a random submatrix.
+		ni := 1 + rng.Intn(m)
+		nj := 1 + rng.Intn(n)
+		rows := make([]int, ni)
+		cols := make([]int, nj)
+		for k := range rows {
+			rows[k] = rng.Intn(m)
+		}
+		for k := range cols {
+			cols[k] = rng.Intn(n)
+		}
+		t.Run(fmt.Sprintf("t%d/extract", trial), func(t *testing.T) {
+			c := grb.MustMatrix[int64](ni, nj)
+			if err := grb.ExtractMatrix[int64, bool](c, nil, nil, a, rows, cols, nil); err != nil {
+				t.Fatal(err)
+			}
+			want := ref.NewMat[int64](ni, nj)
+			ref.Extract[int64, bool](want, nil, nil, ref.FromMatrix(a), rows, cols, ref.Desc{})
+			eqMat(t, c, want)
+		})
+
+		// Assign a submatrix at unique positions (duplicate targets have
+		// implementation-defined resolution, so dedup first).
+		urows := uniqueIdx(rng, m, 1+rng.Intn(m))
+		ucols := uniqueIdx(rng, n, 1+rng.Intn(n))
+		sub := randMatrix(rng, len(urows), len(ucols), 0.3)
+		for _, withAccum := range []bool{false, true} {
+			t.Run(fmt.Sprintf("t%d/assign/accum=%v", trial, withAccum), func(t *testing.T) {
+				var accum grb.BinaryOp[int64, int64, int64]
+				if withAccum {
+					accum = grb.Plus[int64]()
+				}
+				c := a.Dup()
+				if err := grb.AssignMatrix[int64, bool](c, nil, accum, sub, urows, ucols, nil); err != nil {
+					t.Fatal(err)
+				}
+				want := ref.FromMatrix(a)
+				ref.Assign[int64, bool](want, nil, accum, ref.FromMatrix(sub), urows, ucols, ref.Desc{})
+				eqMat(t, c, want)
+			})
+		}
+
+		// Vector extract/assign.
+		u := randVector(rng, n, 0.4)
+		t.Run(fmt.Sprintf("t%d/vextract", trial), func(t *testing.T) {
+			w := grb.MustVector[int64](len(ucols))
+			if err := grb.ExtractVector[int64, bool](w, nil, nil, u, ucols, nil); err != nil {
+				t.Fatal(err)
+			}
+			is, xs := w.ExtractTuples()
+			got := map[int]int64{}
+			for k := range is {
+				got[is[k]] = xs[k]
+			}
+			for t2, src := range ucols {
+				v, err := u.GetElement(src)
+				if err == nil {
+					if got[t2] != v {
+						t.Fatalf("w[%d]: got %d want %d", t2, got[t2], v)
+					}
+				} else if _, ok := got[t2]; ok {
+					t.Fatalf("w[%d] should be empty", t2)
+				}
+			}
+		})
+
+		// Scalar assign through a mask (the BFS levels[frontier] = depth
+		// step).
+		t.Run(fmt.Sprintf("t%d/vassign-scalar", trial), func(t *testing.T) {
+			w := randVector(rng, n, 0.3)
+			maskv := randVector(rng, n, 0.4)
+			wRef := ref.FromVector(w)
+			maskRef := ref.FromVector(maskv)
+			if err := grb.AssignVectorScalar(w, maskv, nil, int64(77), nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			// Mimic: scalar fills every admitted position.
+			for i := 0; i < n; i++ {
+				if maskRef.Set[i] {
+					wRef.Val[i] = 77
+					wRef.Set[i] = true
+				}
+			}
+			eqVec(t, w, wRef)
+		})
+	}
+}
+
+func uniqueIdx(rng *rand.Rand, n, want int) []int {
+	if want > n {
+		want = n
+	}
+	perm := rng.Perm(n)
+	return perm[:want]
+}
+
+func TestConformanceMaskValueSemantics(t *testing.T) {
+	// A bool mask with stored 'false' entries behaves differently under
+	// structural vs value interpretation.
+	rng := rand.New(rand.NewSource(8))
+	n := 20
+	a := randMatrix(rng, n, n, 0.3)
+	b := randMatrix(rng, n, n, 0.3)
+	mask := grb.MustMatrix[bool](n, n)
+	var is, js []int
+	var xs []bool
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				is = append(is, i)
+				js = append(js, j)
+				xs = append(xs, rng.Float64() < 0.5)
+			}
+		}
+	}
+	if err := mask.Build(is, js, xs, nil); err != nil {
+		t.Fatal(err)
+	}
+	refMask := ref.NewMat[bool](n, n)
+	for k := range is {
+		refMask.Val[is[k]][js[k]] = xs[k]
+		refMask.Set[is[k]][js[k]] = true
+	}
+	for _, valued := range []bool{false, true} {
+		d := grb.Descriptor{MaskValue: valued}
+		c := grb.MustMatrix[int64](n, n)
+		if err := grb.MxM(c, mask, nil, grb.PlusTimes[int64](), a, b, &d); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.NewMat[int64](n, n)
+		ref.MxM(want, refMask, nil, grb.PlusTimes[int64](), ref.FromMatrix(a), ref.FromMatrix(b), refDesc(d))
+		eqMat(t, c, want)
+	}
+}

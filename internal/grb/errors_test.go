@@ -1,0 +1,287 @@
+package grb
+
+import (
+	"testing"
+)
+
+// Error-path coverage: the API-error class of the C specification —
+// uninitialized objects and dimension mismatches must be reported, never
+// panic.
+
+func TestOpNilArguments(t *testing.T) {
+	a := MustMatrix[int64](3, 3)
+	v := MustVector[int64](3)
+	s := PlusTimes[int64]()
+
+	if err := MxM[int64, int64, int64, bool](nil, nil, nil, s, a, a, nil); err != ErrUninitialized {
+		t.Error("mxm nil output")
+	}
+	if err := MxM[int64, int64, int64, bool](a, nil, nil, s, nil, a, nil); err != ErrUninitialized {
+		t.Error("mxm nil input")
+	}
+	if err := MxM[int64, int64, int64, bool](a, nil, nil, Semiring[int64, int64, int64]{}, a, a, nil); err != ErrUninitialized {
+		t.Error("mxm empty semiring")
+	}
+	if err := VxM[int64, int64, int64, bool](nil, nil, nil, s, v, a, nil); err != ErrUninitialized {
+		t.Error("vxm nil output")
+	}
+	if err := MxV[int64, int64, int64, bool](v, nil, nil, s, nil, v, nil); err != ErrUninitialized {
+		t.Error("mxv nil matrix")
+	}
+	if err := EWiseAddMatrix[int64, bool](a, nil, nil, nil, a, a, nil); err != ErrUninitialized {
+		t.Error("ewiseadd nil op")
+	}
+	if err := EWiseMultVector[int64, int64, int64, bool](v, nil, nil, nil, v, v, nil); err != ErrUninitialized {
+		t.Error("ewisemult nil op")
+	}
+	if err := ApplyMatrix[int64, int64, bool](a, nil, nil, nil, a, nil); err != ErrUninitialized {
+		t.Error("apply nil op")
+	}
+	if err := SelectMatrix[int64, bool](a, nil, nil, nil, a, nil); err != ErrUninitialized {
+		t.Error("select nil op")
+	}
+	if err := ReduceMatrixToVector[int64, bool](v, nil, nil, Monoid[int64]{}, a, nil); err != ErrUninitialized {
+		t.Error("reduce empty monoid")
+	}
+	if _, err := ReduceMatrixToScalar(PlusMonoid[int64](), (*Matrix[int64])(nil)); err != ErrUninitialized {
+		t.Error("reduce nil matrix")
+	}
+	if err := Transpose[int64, bool](nil, nil, nil, a, nil); err != ErrUninitialized {
+		t.Error("transpose nil output")
+	}
+	if err := Kronecker[int64, int64, int64, bool](a, nil, nil, nil, a, a, nil); err != ErrUninitialized {
+		t.Error("kronecker nil op")
+	}
+	if _, err := DiagMatrix[int64](nil, 0); err != ErrUninitialized {
+		t.Error("diag nil vector")
+	}
+	if _, err := MatrixDiag[int64](nil, 0); err != ErrUninitialized {
+		t.Error("matrixdiag nil")
+	}
+}
+
+func TestOpDimensionMismatches(t *testing.T) {
+	a34 := MustMatrix[int64](3, 4)
+	a45 := MustMatrix[int64](4, 5)
+	a33 := MustMatrix[int64](3, 3)
+	c35 := MustMatrix[int64](3, 5)
+	v3 := MustVector[int64](3)
+	v4 := MustVector[int64](4)
+	v5 := MustVector[int64](5)
+	s := PlusTimes[int64]()
+
+	// mxm inner dimension.
+	if err := MxM[int64, int64, int64, bool](c35, nil, nil, s, a34, a33, nil); err != ErrDimensionMismatch {
+		t.Error("mxm inner dim")
+	}
+	// mxm output shape.
+	if err := MxM[int64, int64, int64, bool](a33, nil, nil, s, a34, a45, nil); err != ErrDimensionMismatch {
+		t.Error("mxm output dim")
+	}
+	// mxm mask shape.
+	if err := MxM(c35, a33, nil, s, a34, a45, nil); err != ErrDimensionMismatch {
+		t.Error("mxm mask dim")
+	}
+	// Transposed shapes flip requirements.
+	if err := MxM[int64, int64, int64, bool](c35, nil, nil, s, a34, a45, DescT0); err != ErrDimensionMismatch {
+		t.Error("mxm tranA dim should mismatch")
+	}
+	// vxm / mxv.
+	if err := VxM[int64, int64, int64, bool](v5, nil, nil, s, v4, a34, nil); err != ErrDimensionMismatch {
+		t.Error("vxm input dim")
+	}
+	if err := VxM[int64, int64, int64, bool](v5, nil, nil, s, v3, a34, nil); err != ErrDimensionMismatch {
+		t.Error("vxm output dim")
+	}
+	if err := MxV[int64, int64, int64, bool](v3, nil, nil, s, a34, v3, nil); err != ErrDimensionMismatch {
+		t.Error("mxv input dim")
+	}
+	if err := VxM(v4, v3, nil, s, v3, a34, nil); err != ErrDimensionMismatch {
+		t.Error("vxm mask dim")
+	}
+	// eWise.
+	if err := EWiseAddMatrix[int64, bool](a34, nil, nil, Plus[int64](), a34, a45, nil); err != ErrDimensionMismatch {
+		t.Error("ewise dims")
+	}
+	if err := EWiseAddVector[int64, bool](v3, nil, nil, Plus[int64](), v3, v4, nil); err != ErrDimensionMismatch {
+		t.Error("ewise vec dims")
+	}
+	// apply/select output shape.
+	if err := ApplyMatrix[int64, int64, bool](a33, nil, nil, Identity[int64](), a34, nil); err != ErrDimensionMismatch {
+		t.Error("apply dims")
+	}
+	if err := SelectMatrix[int64, bool](a33, nil, nil, Tril[int64](0), a34, nil); err != ErrDimensionMismatch {
+		t.Error("select dims")
+	}
+	// reduce.
+	if err := ReduceMatrixToVector[int64, bool](v4, nil, nil, PlusMonoid[int64](), a34, nil); err != ErrDimensionMismatch {
+		t.Error("reduce dims (rows)")
+	}
+	if err := ReduceMatrixToVector[int64, bool](v3, nil, nil, PlusMonoid[int64](), a34, DescT0); err != ErrDimensionMismatch {
+		t.Error("reduce dims (cols)")
+	}
+	// transpose.
+	if err := Transpose[int64, bool](a34, nil, nil, a34, nil); err != ErrDimensionMismatch {
+		t.Error("transpose dims")
+	}
+	// extract/assign.
+	if err := ExtractMatrix[int64, bool](a33, nil, nil, a34, []int{0, 1}, []int{0}, nil); err != ErrDimensionMismatch {
+		t.Error("extract dims")
+	}
+	if err := ExtractMatrix[int64, bool](a33, nil, nil, a34, []int{9}, nil, nil); err != ErrIndexOutOfBounds {
+		t.Error("extract oob")
+	}
+	if err := AssignMatrix[int64, bool](a34, nil, nil, a33, []int{0, 1}, []int{0, 1, 2}, nil); err != ErrDimensionMismatch {
+		t.Error("assign dims")
+	}
+	if err := AssignMatrix[int64, bool](a34, nil, nil, a33, []int{0, 1, 9}, []int{0, 1, 2}, nil); err != ErrIndexOutOfBounds {
+		t.Error("assign oob")
+	}
+	if err := ExtractVector[int64, bool](v3, nil, nil, v4, []int{0, 1}, nil); err != ErrDimensionMismatch {
+		t.Error("vextract dims")
+	}
+	if err := AssignVector[int64, bool](v4, nil, nil, v3, []int{0, 1}, nil); err != ErrDimensionMismatch {
+		t.Error("vassign dims")
+	}
+	if err := AssignVectorScalar[int64, bool](v4, nil, nil, 7, []int{0, 9}, nil); err != ErrIndexOutOfBounds {
+		t.Error("vassign scalar oob")
+	}
+	// kronecker output shape.
+	if err := Kronecker[int64, int64, int64, bool](a34, nil, nil, Times[int64](), a33, a33, nil); err != ErrDimensionMismatch {
+		t.Error("kronecker dims")
+	}
+	// column extract.
+	if err := ExtractMatrixCol[int64, bool](v3, nil, nil, a34, nil, 7, nil); err != ErrIndexOutOfBounds {
+		t.Error("col extract oob")
+	}
+}
+
+func TestKroneckerSmall(t *testing.T) {
+	// [1 2; 0 3] ⊗ [0 1; 1 0]
+	a := MustMatrix[int64](2, 2)
+	_ = a.SetElement(0, 0, 1)
+	_ = a.SetElement(0, 1, 2)
+	_ = a.SetElement(1, 1, 3)
+	b := MustMatrix[int64](2, 2)
+	_ = b.SetElement(0, 1, 1)
+	_ = b.SetElement(1, 0, 1)
+	c := MustMatrix[int64](4, 4)
+	if err := Kronecker[int64, int64, int64, bool](c, nil, nil, Times[int64](), a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]int64{
+		{0, 1}: 1, {1, 0}: 1, // block (0,0) = 1·B
+		{0, 3}: 2, {1, 2}: 2, // block (0,1) = 2·B
+		{2, 3}: 3, {3, 2}: 3, // block (1,1) = 3·B
+	}
+	if c.Nvals() != len(want) {
+		t.Fatalf("nvals=%d want %d", c.Nvals(), len(want))
+	}
+	for pos, x := range want {
+		got, err := c.GetElement(pos[0], pos[1])
+		if err != nil || got != x {
+			t.Fatalf("c(%d,%d)=%v want %v (err %v)", pos[0], pos[1], got, x, err)
+		}
+	}
+}
+
+func TestKroneckerBuildsRMATLikeGraph(t *testing.T) {
+	// Kronecker powers of a seed matrix generate the scale-free family
+	// RMAT approximates; the k-th power has nnz(seed)^k entries.
+	seed := MustMatrix[float64](2, 2)
+	_ = seed.SetElement(0, 0, 0.57)
+	_ = seed.SetElement(0, 1, 0.19)
+	_ = seed.SetElement(1, 0, 0.19)
+	g := seed.Dup()
+	for k := 1; k < 4; k++ {
+		next := MustMatrix[float64](g.Nrows()*2, g.Ncols()*2)
+		if err := Kronecker[float64, float64, float64, bool](next, nil, nil, Times[float64](), g, seed, nil); err != nil {
+			t.Fatal(err)
+		}
+		g = next
+	}
+	if g.Nrows() != 16 {
+		t.Fatalf("dim %d", g.Nrows())
+	}
+	if g.Nvals() != 81 { // 3^4
+		t.Fatalf("nvals=%d want 81", g.Nvals())
+	}
+}
+
+func TestVectorMaskValueSemantics(t *testing.T) {
+	// Value masks on vectors: stored false excludes under MaskValue.
+	n := 6
+	u := MustVector[int64](n)
+	for i := 0; i < n; i++ {
+		_ = u.SetElement(i, int64(i+1))
+	}
+	mask := MustVector[bool](n)
+	_ = mask.SetElement(1, true)
+	_ = mask.SetElement(2, false)
+	_ = mask.SetElement(4, true)
+
+	// Structural: entries 1,2,4 admitted.
+	w := MustVector[int64](n)
+	if err := ApplyVector(w, mask, nil, Identity[int64](), u, nil); err != nil {
+		t.Fatal(err)
+	}
+	if w.Nvals() != 3 {
+		t.Fatalf("structural nvals=%d", w.Nvals())
+	}
+	// Value: only 1,4.
+	w2 := MustVector[int64](n)
+	if err := ApplyVector(w2, mask, nil, Identity[int64](), u, &Descriptor{MaskValue: true}); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Nvals() != 2 {
+		t.Fatalf("value nvals=%d", w2.Nvals())
+	}
+	if _, err := w2.GetElement(2); err == nil {
+		t.Fatal("stored-false position must be excluded under value semantics")
+	}
+	// Complemented value mask admits 0,2,3,5.
+	w3 := MustVector[int64](n)
+	if err := ApplyVector(w3, mask, nil, Identity[int64](), u, &Descriptor{MaskValue: true, Comp: true}); err != nil {
+		t.Fatal(err)
+	}
+	if w3.Nvals() != 4 {
+		t.Fatalf("comp value nvals=%d", w3.Nvals())
+	}
+}
+
+func TestAccumSemantics(t *testing.T) {
+	// w already has entries; result z misses some of them. With accum,
+	// untouched entries survive; without, they are deleted.
+	n := 4
+	w := MustVector[int64](n)
+	_ = w.SetElement(0, 100)
+	_ = w.SetElement(1, 100)
+	u := MustVector[int64](n)
+	_ = u.SetElement(1, 5)
+	_ = u.SetElement(2, 5)
+
+	noAcc := w.Dup()
+	if err := ApplyVector[int64, int64, bool](noAcc, nil, nil, Identity[int64](), u, nil); err != nil {
+		t.Fatal(err)
+	}
+	if noAcc.Nvals() != 2 {
+		t.Fatalf("no-accum nvals=%d", noAcc.Nvals())
+	}
+	if _, err := noAcc.GetElement(0); err == nil {
+		t.Fatal("w(0) must be deleted without accum")
+	}
+
+	acc := w.Dup()
+	if err := ApplyVector(acc, (*Vector[bool])(nil), Plus[int64](), Identity[int64](), u, nil); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := acc.GetElement(0); x != 100 {
+		t.Fatal("w(0) must survive with accum")
+	}
+	if x, _ := acc.GetElement(1); x != 105 {
+		t.Fatalf("accumulated: %d", x)
+	}
+	if x, _ := acc.GetElement(2); x != 5 {
+		t.Fatalf("new entry: %d", x)
+	}
+}

@@ -1,0 +1,262 @@
+package grb
+
+// Element-wise operations of Table I: eWiseAdd (set union of patterns) and
+// eWiseMult (set intersection).
+
+// mergeUnion merges two sorted sparse rows with union semantics.
+func mergeUnion[A, B, C any](ai []int, ax []A, bi []int, bx []B, add BinaryOp[A, B, C], onlyA func(A) C, onlyB func(B) C, oi *[]int, ox *[]C) {
+	s, k := 0, 0
+	for s < len(ai) || k < len(bi) {
+		switch {
+		case k >= len(bi) || (s < len(ai) && ai[s] < bi[k]):
+			*oi = append(*oi, ai[s])
+			*ox = append(*ox, onlyA(ax[s]))
+			s++
+		case s >= len(ai) || bi[k] < ai[s]:
+			*oi = append(*oi, bi[k])
+			*ox = append(*ox, onlyB(bx[k]))
+			k++
+		default:
+			*oi = append(*oi, ai[s])
+			*ox = append(*ox, add(ax[s], bx[k]))
+			s++
+			k++
+		}
+	}
+}
+
+// mergeIntersect merges two sorted sparse rows with intersection semantics.
+func mergeIntersect[A, B, C any](ai []int, ax []A, bi []int, bx []B, mul BinaryOp[A, B, C], oi *[]int, ox *[]C) {
+	s, k := 0, 0
+	for s < len(ai) && k < len(bi) {
+		switch {
+		case ai[s] < bi[k]:
+			s++
+		case bi[k] < ai[s]:
+			k++
+		default:
+			*oi = append(*oi, ai[s])
+			*ox = append(*ox, mul(ax[s], bx[k]))
+			s++
+			k++
+		}
+	}
+}
+
+// rowView returns the sorted entries of major index r, empty if none.
+func rowView[T any](c *cs[T], r int) ([]int, []T) {
+	k, ok := c.findMajor(r)
+	if !ok {
+		return nil, nil
+	}
+	return c.vec(k)
+}
+
+// orientedCSR returns the row-major view of a, or the row-major view of aᵀ
+// when tran is set (which is a's column-major storage).
+func orientedCSR[T any](a *Matrix[T], tran bool) *cs[T] {
+	if tran {
+		return a.materializedCSC()
+	}
+	return a.materializedCSR()
+}
+
+// unionRows returns the sorted union of the stored major indices of two
+// structures (used for hypersparse outputs).
+func unionRows[A, B any](a *cs[A], b *cs[B]) []int {
+	out := make([]int, 0, a.nvecs()+b.nvecs())
+	s, k := 0, 0
+	for s < a.nvecs() || k < b.nvecs() {
+		switch {
+		case k >= b.nvecs() || (s < a.nvecs() && a.majorOf(s) < b.majorOf(k)):
+			out = append(out, a.majorOf(s))
+			s++
+		case s >= a.nvecs() || b.majorOf(k) < a.majorOf(s):
+			out = append(out, b.majorOf(k))
+			k++
+		default:
+			out = append(out, a.majorOf(s))
+			s++
+			k++
+		}
+	}
+	return out
+}
+
+// eWiseDims validates operand dimensions under the descriptor and returns
+// the output shape.
+func eWiseDims[A, B any](a *Matrix[A], b *Matrix[B], d descValues) (nr, nc int, err error) {
+	ar, ac := a.nr, a.nc
+	if d.TranA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.nr, b.nc
+	if d.TranB {
+		br, bc = bc, br
+	}
+	if ar != br || ac != bc {
+		return 0, 0, ErrDimensionMismatch
+	}
+	return ar, ac, nil
+}
+
+// EWiseAddMatrix computes C⟨M⟩ ⊙= A ⊕ B over the union of patterns: where
+// only one operand has an entry, that value passes through unchanged.
+func EWiseAddMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], a, b *Matrix[T], desc *Descriptor) error {
+	if c == nil || a == nil || b == nil || add == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	nr, nc, err := eWiseDims(a, b, d)
+	if err != nil {
+		return err
+	}
+	if c.nr != nr || c.nc != nc {
+		return ErrDimensionMismatch
+	}
+	ca := orientedCSR(a, d.TranA)
+	cb := orientedCSR(b, d.TranB)
+	id := Identity[T]()
+	z := ewiseCS(ca, cb, nr, nc, func(ai []int, ax []T, bi []int, bx []T, oi *[]int, ox *[]T) {
+		mergeUnion(ai, ax, bi, bx, add, id, id, oi, ox)
+	})
+	return writeMatrixResult(c, mask, accum, z, d)
+}
+
+// EWiseMultMatrix computes C⟨M⟩ ⊙= A ⊗ B over the intersection of
+// patterns.
+func EWiseMultMatrix[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], mul BinaryOp[A, B, T], a *Matrix[A], b *Matrix[B], desc *Descriptor) error {
+	if c == nil || a == nil || b == nil || mul == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	nr, nc, err := eWiseDims(a, b, d)
+	if err != nil {
+		return err
+	}
+	if c.nr != nr || c.nc != nc {
+		return ErrDimensionMismatch
+	}
+	ca := orientedCSR(a, d.TranA)
+	cb := orientedCSR(b, d.TranB)
+	z := ewiseCS2(ca, cb, nr, nc, func(ai []int, ax []A, bi []int, bx []B, oi *[]int, ox *[]T) {
+		mergeIntersect(ai, ax, bi, bx, mul, oi, ox)
+	})
+	return writeMatrixResult(c, mask, accum, z, d)
+}
+
+// ewiseCS runs a row-merge kernel over same-typed operands in parallel.
+func ewiseCS[T any](ca, cb *cs[T], nr, nc int, merge func(ai []int, ax []T, bi []int, bx []T, oi *[]int, ox *[]T)) *cs[T] {
+	return ewiseCS2[T, T, T](ca, cb, nr, nc, merge)
+}
+
+// ewiseCS2 is the mixed-type general form.
+func ewiseCS2[A, B, T any](ca *cs[A], cb *cs[B], nr, nc int, merge func(ai []int, ax []A, bi []int, bx []B, oi *[]int, ox *[]T)) *cs[T] {
+	hyper := ca.h != nil || cb.h != nil
+	if hyper {
+		rows := unionRows(ca, cb)
+		staging := newRowSlices[T](len(rows))
+		parallelRanges(len(rows), 64, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				r := rows[k]
+				ai, ax := rowView(ca, r)
+				bi, bx := rowView(cb, r)
+				merge(ai, ax, bi, bx, &staging.idx[k], &staging.val[k])
+			}
+		})
+		return staging.stitch(nr, nc, rows)
+	}
+	staging := newRowSlices[T](nr)
+	parallelRanges(nr, 256, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ai, ax := ca.vec(r)
+			bi, bx := cb.vec(r)
+			merge(ai, ax, bi, bx, &staging.idx[r], &staging.val[r])
+		}
+	})
+	return staging.stitch(nr, nc, nil)
+}
+
+// EWiseUnionMatrix computes C⟨M⟩ ⊙= A ⊕ B over the union of patterns,
+// substituting alpha for missing A entries and beta for missing B entries
+// (the GxB_eWiseUnion of the v2 API): unlike eWiseAdd, the operator is
+// applied at every union position.
+func EWiseUnionMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], a *Matrix[T], alpha T, b *Matrix[T], beta T, desc *Descriptor) error {
+	if c == nil || a == nil || b == nil || add == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	nr, nc, err := eWiseDims(a, b, d)
+	if err != nil {
+		return err
+	}
+	if c.nr != nr || c.nc != nc {
+		return ErrDimensionMismatch
+	}
+	ca := orientedCSR(a, d.TranA)
+	cb := orientedCSR(b, d.TranB)
+	z := ewiseCS(ca, cb, nr, nc, func(ai []int, ax []T, bi []int, bx []T, oi *[]int, ox *[]T) {
+		mergeUnion(ai, ax, bi, bx, add,
+			func(x T) T { return add(x, beta) },
+			func(y T) T { return add(alpha, y) },
+			oi, ox)
+	})
+	return writeMatrixResult(c, mask, accum, z, d)
+}
+
+// EWiseUnionVector computes w⟨m⟩ ⊙= u ⊕ v with fill values for missing
+// operands.
+func EWiseUnionVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], u *Vector[T], alpha T, v *Vector[T], beta T, desc *Descriptor) error {
+	if w == nil || u == nil || v == nil || add == nil {
+		return ErrUninitialized
+	}
+	if u.n != v.n || w.n != u.n {
+		return ErrDimensionMismatch
+	}
+	d := desc.get()
+	ui, ux := u.materialized()
+	vi, vx := v.materialized()
+	var zi []int
+	var zx []T
+	mergeUnion(ui, ux, vi, vx, add,
+		func(x T) T { return add(x, beta) },
+		func(y T) T { return add(alpha, y) },
+		&zi, &zx)
+	return writeVectorResult(w, mask, accum, zi, zx, d)
+}
+
+// EWiseAddVector computes w⟨m⟩ ⊙= u ⊕ v over the union of patterns.
+func EWiseAddVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], u, v *Vector[T], desc *Descriptor) error {
+	if w == nil || u == nil || v == nil || add == nil {
+		return ErrUninitialized
+	}
+	if u.n != v.n || w.n != u.n {
+		return ErrDimensionMismatch
+	}
+	d := desc.get()
+	ui, ux := u.materialized()
+	vi, vx := v.materialized()
+	var zi []int
+	var zx []T
+	id := Identity[T]()
+	mergeUnion(ui, ux, vi, vx, add, id, id, &zi, &zx)
+	return writeVectorResult(w, mask, accum, zi, zx, d)
+}
+
+// EWiseMultVector computes w⟨m⟩ ⊙= u ⊗ v over the intersection of
+// patterns.
+func EWiseMultVector[A, B, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], mul BinaryOp[A, B, T], u *Vector[A], v *Vector[B], desc *Descriptor) error {
+	if w == nil || u == nil || v == nil || mul == nil {
+		return ErrUninitialized
+	}
+	if u.n != v.n || w.n != u.n {
+		return ErrDimensionMismatch
+	}
+	d := desc.get()
+	ui, ux := u.materialized()
+	vi, vx := v.materialized()
+	var zi []int
+	var zx []T
+	mergeIntersect(ui, ux, vi, vx, mul, &zi, &zx)
+	return writeVectorResult(w, mask, accum, zi, zx, d)
+}

@@ -1,0 +1,70 @@
+package grb
+
+import "testing"
+
+func TestEWiseUnionVector(t *testing.T) {
+	u := MustVector[int64](5)
+	v := MustVector[int64](5)
+	_ = u.SetElement(0, 10)
+	_ = u.SetElement(2, 20)
+	_ = v.SetElement(2, 1)
+	_ = v.SetElement(4, 2)
+	w := MustVector[int64](5)
+	// minus with alpha=100, beta=1000.
+	if err := EWiseUnionVector[int64, bool](w, nil, nil, Minus[int64](), u, 100, v, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	// w(0) = 10 - 1000 (beta); w(2) = 20 - 1; w(4) = 100 - 2 (alpha).
+	cases := map[int]int64{0: -990, 2: 19, 4: 98}
+	if w.Nvals() != len(cases) {
+		t.Fatalf("nvals=%d", w.Nvals())
+	}
+	for i, want := range cases {
+		if x, _ := w.GetElement(i); x != want {
+			t.Fatalf("w(%d)=%d want %d", i, x, want)
+		}
+	}
+}
+
+func TestEWiseUnionMatrix(t *testing.T) {
+	a := MustMatrix[float64](2, 2)
+	b := MustMatrix[float64](2, 2)
+	_ = a.SetElement(0, 0, 3)
+	_ = b.SetElement(1, 1, 4)
+	_ = a.SetElement(0, 1, 1)
+	_ = b.SetElement(0, 1, 2)
+	c := MustMatrix[float64](2, 2)
+	if err := EWiseUnionMatrix[float64, bool](c, nil, nil, Div[float64](), a, -1, b, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// c(0,0)=3/2 (beta), c(0,1)=1/2, c(1,1)=-1/4 (alpha).
+	if x, _ := c.GetElement(0, 0); x != 1.5 {
+		t.Fatalf("c(0,0)=%v", x)
+	}
+	if x, _ := c.GetElement(0, 1); x != 0.5 {
+		t.Fatalf("c(0,1)=%v", x)
+	}
+	if x, _ := c.GetElement(1, 1); x != -0.25 {
+		t.Fatalf("c(1,1)=%v", x)
+	}
+	// Compare against eWiseAdd difference: union with zero fills equals
+	// eWiseAdd for plus.
+	d1 := MustMatrix[float64](2, 2)
+	if err := EWiseUnionMatrix[float64, bool](d1, nil, nil, Plus[float64](), a, 0, b, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	d2 := MustMatrix[float64](2, 2)
+	if err := EWiseAddMatrix[float64, bool](d2, nil, nil, Plus[float64](), a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	i1, j1, x1 := d1.ExtractTuples()
+	i2, j2, x2 := d2.ExtractTuples()
+	if len(i1) != len(i2) {
+		t.Fatal("pattern")
+	}
+	for k := range i1 {
+		if i1[k] != i2[k] || j1[k] != j2[k] || x1[k] != x2[k] {
+			t.Fatal("zero-fill union must equal eWiseAdd for plus")
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package grb
+
+import "sort"
+
+// Iteration and inner products: zero-copy access patterns that LAGraph
+// algorithms use to avoid materializing tuple slices.
+
+// Iterate calls fn for every stored entry in row-major order, stopping
+// early if fn returns false. It forces pending work first. The matrix
+// must not be mutated during iteration.
+func (a *Matrix[T]) Iterate(fn func(i, j int, x T) bool) {
+	a.Wait()
+	c := a.csr
+	for k := 0; k < c.nvecs(); k++ {
+		row := c.majorOf(k)
+		ci, cx := c.vec(k)
+		for t := range ci {
+			if !fn(row, ci[t], cx[t]) {
+				return
+			}
+		}
+	}
+}
+
+// IterateRow calls fn for every stored entry of row i, in column order.
+func (a *Matrix[T]) IterateRow(i int, fn func(j int, x T) bool) error {
+	if i < 0 || i >= a.nr {
+		return ErrIndexOutOfBounds
+	}
+	a.Wait()
+	ci, cx := rowView(a.csr, i)
+	for t := range ci {
+		if !fn(ci[t], cx[t]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Iterate calls fn for every stored entry in index order, stopping early
+// if fn returns false.
+func (v *Vector[T]) Iterate(fn func(i int, x T) bool) {
+	v.Wait()
+	for k, i := range v.idx {
+		if !fn(i, v.x[k]) {
+			return
+		}
+	}
+}
+
+// InnerProduct computes the semiring inner product uᵀ ⊕.⊗ v over the
+// intersection of patterns. ok is false when the intersection is empty.
+func InnerProduct[A, B, T any](s Semiring[A, B, T], u *Vector[A], v *Vector[B]) (result T, ok bool, err error) {
+	var zero T
+	if u == nil || v == nil || s.Add.Op == nil || s.Mul == nil {
+		return zero, false, ErrUninitialized
+	}
+	if u.n != v.n {
+		return zero, false, ErrDimensionMismatch
+	}
+	ui, ux := u.materialized()
+	vi, vx := v.materialized()
+	var acc T
+	found := false
+	a, b := 0, 0
+	for a < len(ui) && b < len(vi) {
+		switch {
+		case ui[a] < vi[b]:
+			a++
+		case vi[b] < ui[a]:
+			b++
+		default:
+			p := s.Mul(ux[a], vx[b])
+			if found {
+				acc = s.Add.Op(acc, p)
+			} else {
+				acc = p
+				found = true
+			}
+			if s.Add.Terminal != nil && s.Add.Terminal(acc) {
+				return acc, true, nil
+			}
+			a++
+			b++
+		}
+	}
+	return acc, found, nil
+}
+
+// ExtractMatrixRow computes w⟨m⟩ ⊙= A(i,J)ᵀ: one row of A as a vector
+// (the GrB_Col_extract of Aᵀ). Nil cols means the whole row.
+func ExtractMatrixRow[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], a *Matrix[T], i int, cols []int, desc *Descriptor) error {
+	d := &Descriptor{TranA: true}
+	if desc != nil {
+		dd := *desc
+		dd.TranA = !dd.TranA
+		d = &dd
+	}
+	return ExtractMatrixCol(w, mask, accum, a, cols, i, d)
+}
+
+// AssignMatrixRow computes C(i,J)⟨m⟩ ⊙= u: writes a vector into one row
+// of C (GrB_Row_assign). The mask is over the row.
+func AssignMatrixRow[T, M any](c *Matrix[T], mask *Vector[M], accum BinaryOp[T, T, T], u *Vector[T], i int, cols []int, desc *Descriptor) error {
+	if c == nil || u == nil {
+		return ErrUninitialized
+	}
+	if i < 0 || i >= c.nr {
+		return ErrIndexOutOfBounds
+	}
+	if err := checkIndices(cols, c.nc); err != nil {
+		return err
+	}
+	un := len(cols)
+	if cols == nil {
+		un = c.nc
+	}
+	if u.n != un {
+		return ErrDimensionMismatch
+	}
+	if mask != nil && mask.n != c.nc {
+		return ErrDimensionMismatch
+	}
+	d := desc.get()
+	mv := newMaskVec(mask, d)
+
+	// Build the replacement row as a dense-sparse merge.
+	ui, ux := u.materialized()
+	var tmp []ent2[T]
+	region := map[int]struct{}{}
+	if cols == nil {
+		for k := range ui {
+			tmp = append(tmp, ent2[T]{ui[k], ux[k]})
+		}
+	} else {
+		ud, uok := u.dense()
+		for t, target := range cols {
+			region[target] = struct{}{}
+			if uok[t] {
+				tmp = append(tmp, ent2[T]{target, ud[t]})
+			}
+		}
+		sort.Slice(tmp, func(a, b int) bool { return tmp[a].j < tmp[b].j })
+	}
+
+	inRegion := func(j int) bool {
+		if cols == nil {
+			return true
+		}
+		_, ok := region[j]
+		return ok
+	}
+
+	// Merge into the existing row.
+	c.Wait()
+	oi, ox := rowView(c.csr, i)
+	allowed := mv.cursor()
+	var ni []int
+	var nx []T
+	s, k := 0, 0
+	for s < len(oi) || k < len(tmp) {
+		haveO := s < len(oi)
+		haveZ := k < len(tmp)
+		switch {
+		case haveO && (!haveZ || oi[s] < tmp[k].j):
+			j := oi[s]
+			keep := true
+			if inRegion(j) && allowed(j) {
+				keep = accum != nil
+			} else if inRegion(j) && d.Replace {
+				keep = false
+			}
+			if keep {
+				ni = append(ni, j)
+				nx = append(nx, ox[s])
+			}
+			s++
+		case haveZ && (!haveO || tmp[k].j < oi[s]):
+			if allowed(tmp[k].j) {
+				ni = append(ni, tmp[k].j)
+				nx = append(nx, tmp[k].x)
+			}
+			k++
+		default:
+			j := oi[s]
+			if allowed(j) {
+				v := tmp[k].x
+				if accum != nil {
+					v = accum(ox[s], tmp[k].x)
+				}
+				ni = append(ni, j)
+				nx = append(nx, v)
+			} else if !d.Replace || !inRegion(j) {
+				ni = append(ni, j)
+				nx = append(nx, ox[s])
+			}
+			s++
+			k++
+		}
+	}
+
+	// Rewrite row i through the tuple interface (single-row surgery).
+	return c.replaceRow(i, ni, nx)
+}
+
+// ent2 is the (column, value) pair used by AssignMatrixRow.
+type ent2[T any] struct {
+	j int
+	x T
+}
+
+// replaceRow substitutes the entries of one row.
+func (a *Matrix[T]) replaceRow(i int, ni []int, nx []T) error {
+	a.Wait()
+	old := a.csr
+	// Remove existing row entries, then insert new ones via pending
+	// tuples (cheap; assembled lazily).
+	if k, ok := old.findMajor(i); ok {
+		ci, _ := old.vec(k)
+		for _, j := range ci {
+			if j >= 0 {
+				_ = a.RemoveElement(i, j)
+			}
+		}
+	}
+	for t := range ni {
+		_ = a.SetElement(i, ni[t], nx[t])
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package grb
+
+import "sort"
+
+// maskVec is a type-erased view of a vector used as a write mask. The nil
+// pointer admits every index. By default the mask is structural (a stored
+// entry admits the index); bool-valued masks with value semantics also
+// require the stored value to be true. Comp inverts the admission.
+type maskVec struct {
+	n    int
+	idx  []int
+	val  []bool // nil means every stored entry counts as true
+	comp bool
+}
+
+// newMaskVec builds a mask view over m, materializing it first. A nil m
+// yields a nil view (no mask). When the descriptor requests value
+// semantics and M is bool, stored values are honoured.
+func newMaskVec[M any](m *Vector[M], d descValues) *maskVec {
+	if m == nil {
+		return nil
+	}
+	idx, xs := m.materialized()
+	mv := &maskVec{n: m.n, idx: idx, comp: d.Comp}
+	if d.MaskValue {
+		if bs, ok := any(xs).([]bool); ok {
+			mv.val = bs
+		}
+	}
+	return mv
+}
+
+// allowed reports whether index i may be written. O(log nvals).
+func (m *maskVec) allowed(i int) bool {
+	if m == nil {
+		return true
+	}
+	pos := sort.SearchInts(m.idx, i)
+	in := pos < len(m.idx) && m.idx[pos] == i
+	if in && m.val != nil {
+		in = m.val[pos]
+	}
+	return in != m.comp
+}
+
+// cursor returns an ascending-order admission tester with O(1) amortized
+// cost; indices must be queried in non-decreasing order.
+func (m *maskVec) cursor() func(i int) bool {
+	if m == nil {
+		return func(int) bool { return true }
+	}
+	k := 0
+	return func(i int) bool {
+		for k < len(m.idx) && m.idx[k] < i {
+			k++
+		}
+		in := k < len(m.idx) && m.idx[k] == i
+		if in && m.val != nil {
+			in = m.val[k]
+		}
+		return in != m.comp
+	}
+}
+
+// bitmap scatters the mask into a dense admission bitmap of length n.
+func (m *maskVec) bitmap(n int) []bool {
+	b := make([]bool, n)
+	if m == nil {
+		for i := range b {
+			b[i] = true
+		}
+		return b
+	}
+	for k, i := range m.idx {
+		t := true
+		if m.val != nil {
+			t = m.val[k]
+		}
+		b[i] = t
+	}
+	if m.comp {
+		for i := range b {
+			b[i] = !b[i]
+		}
+	}
+	return b
+}
+
+// countAllowed returns how many of the n indices are admitted.
+func (m *maskVec) countAllowed(n int) int {
+	if m == nil {
+		return n
+	}
+	stored := 0
+	if m.val == nil {
+		stored = len(m.idx)
+	} else {
+		for _, t := range m.val {
+			if t {
+				stored++
+			}
+		}
+	}
+	if m.comp {
+		return n - stored
+	}
+	return stored
+}
+
+// maskMat is a type-erased row-oriented view of a matrix used as a write
+// mask. The nil pointer admits every position.
+type maskMat struct {
+	nr, nc int
+	// row returns the admitted column pattern of row i: sorted column
+	// indices plus optional truth values (nil = all true). The slices
+	// alias internal storage and must not be modified.
+	row func(i int) ([]int, []bool)
+	// majors lists the stored row indices (ascending).
+	majors func() []int
+	comp   bool
+}
+
+// iterate visits every stored mask position with its admission value
+// (before complementation).
+func (m *maskMat) iterate(fn func(i, j int, admit bool)) {
+	for _, i := range m.majors() {
+		ci, cv := m.row(i)
+		for t, j := range ci {
+			admit := true
+			if cv != nil {
+				admit = cv[t]
+			}
+			fn(i, j, admit)
+		}
+	}
+}
+
+// newMaskMat builds a mask view over m (materializing it). Value semantics
+// are honoured for bool matrices when requested by the descriptor.
+func newMaskMat[M any](m *Matrix[M], d descValues) *maskMat {
+	if m == nil {
+		return nil
+	}
+	c := m.materializedCSR()
+	valued := false
+	var bx []bool
+	if d.MaskValue {
+		if bs, ok := any(c.x).([]bool); ok {
+			valued, bx = true, bs
+		}
+	}
+	return &maskMat{
+		nr: m.nr, nc: m.nc,
+		comp: d.Comp,
+		row: func(i int) ([]int, []bool) {
+			k, ok := c.findMajor(i)
+			if !ok {
+				return nil, nil
+			}
+			lo, hi := c.p[k], c.p[k+1]
+			if valued {
+				return c.i[lo:hi], bx[lo:hi]
+			}
+			return c.i[lo:hi], nil
+		},
+		majors: func() []int {
+			out := make([]int, 0, c.nvecs())
+			for k := 0; k < c.nvecs(); k++ {
+				if c.p[k+1] > c.p[k] {
+					out = append(out, c.majorOf(k))
+				}
+			}
+			return out
+		},
+	}
+}
+
+// rowMask returns the admission view of one row of the matrix mask.
+func (m *maskMat) rowMask(i int) *maskVec {
+	if m == nil {
+		return nil
+	}
+	idx, val := m.row(i)
+	return &maskVec{n: m.nc, idx: idx, val: val, comp: m.comp}
+}

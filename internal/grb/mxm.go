@@ -1,0 +1,377 @@
+package grb
+
+// MxM: C⟨M⟩ ⊙= A ⊕.⊗ B, with the three kernel families of §II-A:
+//
+//   - Gustavson's method: row-wise saxpy with a dense accumulator; the
+//     general-purpose kernel.
+//   - The dot-product method: C(i,j) = A(i,:)·B(:,j); superior when a
+//     sparse mask limits the output pattern (triangle counting) and when
+//     the additive monoid has a terminal value (early exit).
+//   - The heap method: a k-way merge of the B rows selected by each A row;
+//     wins when rows of A are very short, and never allocates an
+//     output-dimension-sized accumulator (so it also serves hypersparse
+//     outputs).
+
+// MxM computes C⟨M⟩ ⊙= A ⊕.⊗ B.
+func MxM[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], s Semiring[A, B, T], a *Matrix[A], b *Matrix[B], desc *Descriptor) error {
+	if c == nil || a == nil || b == nil || s.Add.Op == nil || s.Mul == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	ar, ac := a.nr, a.nc
+	if d.TranA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.nr, b.nc
+	if d.TranB {
+		br, bc = bc, br
+	}
+	if ac != br {
+		return ErrDimensionMismatch
+	}
+	if c.nr != ar || c.nc != bc {
+		return ErrDimensionMismatch
+	}
+	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
+		return ErrDimensionMismatch
+	}
+
+	ca := orientedCSR(a, d.TranA)
+	mm := newMaskMat(mask, d)
+
+	method := d.Method
+	if method == MxMAuto {
+		method = chooseMxM(ca, mm, ar, bc)
+	}
+
+	var z *cs[T]
+	switch method {
+	case MxMDot:
+		cbT := orientedCSC(b, d.TranB)
+		z = mxmDot(ca, cbT, s, mm, ar, bc)
+	case MxMHeap:
+		cb := orientedCSR(b, d.TranB)
+		z = mxmHeap(ca, cb, s, mm, ar, bc)
+	default:
+		cb := orientedCSR(b, d.TranB)
+		z = mxmGustavson(ca, cb, s, mm, ar, bc)
+	}
+	return writeMatrixResult(c, mask, accum, z, d)
+}
+
+// orientedCSC returns the column-major view of the effective operand: for
+// a transposed operand that is simply its row-major storage.
+func orientedCSC[T any](a *Matrix[T], tran bool) *cs[T] {
+	if tran {
+		return a.materializedCSR()
+	}
+	return a.materializedCSC()
+}
+
+// chooseMxM picks a kernel: dot when a non-complemented mask restricts the
+// output to a small pattern; heap when A's rows are very short and the
+// output dimension is large; Gustavson otherwise.
+func chooseMxM[A any](ca *cs[A], mm *maskMat, outRows, outCols int) MxMMethod {
+	if mm != nil && !mm.comp {
+		return MxMDot
+	}
+	nv := ca.nvals()
+	if nv > 0 && outCols >= hyperThresholdDim*hyperRatio {
+		return MxMHeap // avoid O(outCols) accumulators per worker
+	}
+	if ca.nvecs() > 0 && nv/max(ca.nvecs(), 1) <= 2 && outCols > 4096 {
+		return MxMHeap
+	}
+	return MxMGustavson
+}
+
+// mxmGustavson computes Z = A·B row-wise with a dense accumulator.
+func mxmGustavson[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
+	nvec := ca.nvecs()
+	staging := newRowSlices[T](nvec)
+	parallelRanges(nvec, 8, func(lo, hi int) {
+		val := make([]T, nc)
+		seen := make([]bool, nc)
+		var touched []int
+		for k := lo; k < hi; k++ {
+			ai, ax := ca.vec(k)
+			if len(ai) == 0 {
+				continue
+			}
+			row := ca.majorOf(k)
+			touched = touched[:0]
+			for t := range ai {
+				bk, ok := cb.findMajor(ai[t])
+				if !ok {
+					continue
+				}
+				bi, bx := cb.vec(bk)
+				av := ax[t]
+				for u := range bi {
+					j := bi[u]
+					p := s.Mul(av, bx[u])
+					if seen[j] {
+						val[j] = s.Add.Op(val[j], p)
+					} else {
+						seen[j] = true
+						val[j] = p
+						touched = append(touched, j)
+					}
+				}
+			}
+			sortDedupIndices(touched) // sort; already unique
+			emitMasked(&staging.idx[k], &staging.val[k], touched, val, mm, row)
+			for _, j := range touched {
+				seen[j] = false
+			}
+		}
+	})
+	return stitchByA(staging, ca, nr, nc)
+}
+
+// emitMasked appends the accumulated row, filtered by the row's mask.
+func emitMasked[T any](oi *[]int, ox *[]T, touched []int, val []T, mm *maskMat, row int) {
+	if mm == nil {
+		for _, j := range touched {
+			*oi = append(*oi, j)
+			*ox = append(*ox, val[j])
+		}
+		return
+	}
+	allowed := mm.rowMask(row).cursor()
+	for _, j := range touched {
+		if allowed(j) {
+			*oi = append(*oi, j)
+			*ox = append(*ox, val[j])
+		}
+	}
+}
+
+// stitchByA assembles staged rows using A's row structure (hypersparse A
+// yields hypersparse Z).
+func stitchByA[A, T any](staging *rowSlices[T], ca *cs[A], nr, nc int) *cs[T] {
+	if ca.h != nil {
+		return staging.stitch(nr, nc, ca.h)
+	}
+	return staging.stitch(nr, nc, nil)
+}
+
+// mxmDot computes Z = A·B with dot products, iterating only positions
+// admitted by the mask when one is present (and not complemented). cbT is
+// the column-major view of B, i.e. rows of Bᵀ.
+func mxmDot[A, B, T any](ca *cs[A], cbT *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
+	nvec := ca.nvecs()
+	staging := newRowSlices[T](nvec)
+	useMaskPattern := mm != nil && !mm.comp
+	parallelRanges(nvec, 8, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			ai, ax := ca.vec(k)
+			if len(ai) == 0 {
+				continue
+			}
+			row := ca.majorOf(k)
+			dot := func(j int) {
+				bk, ok := cbT.findMajor(j)
+				if !ok {
+					return
+				}
+				bi, bx := cbT.vec(bk)
+				acc, any := sparseDot(ai, ax, bi, bx, s)
+				if any {
+					staging.idx[k] = append(staging.idx[k], j)
+					staging.val[k] = append(staging.val[k], acc)
+				}
+			}
+			if useMaskPattern {
+				mi, mv := mm.row(row)
+				for t, j := range mi {
+					if mv != nil && !mv[t] {
+						continue
+					}
+					dot(j)
+				}
+			} else if mm != nil { // complemented mask: all j not admitted... i.e. admitted by comp view
+				allowed := mm.rowMask(row).cursor()
+				for j := 0; j < nc; j++ {
+					if allowed(j) {
+						dot(j)
+					}
+				}
+			} else {
+				for j := 0; j < nc; j++ {
+					dot(j)
+				}
+			}
+		}
+	})
+	return stitchByA(staging, ca, nr, nc)
+}
+
+// sparseDot merges two sorted sparse vectors under the semiring, stopping
+// early once the additive monoid reaches a terminal value (§II-A's early
+// exit; the reason a "pull" BFS step is cheap).
+func sparseDot[A, B, T any](ai []int, ax []A, bi []int, bx []B, s Semiring[A, B, T]) (T, bool) {
+	var acc T
+	found := false
+	u, v := 0, 0
+	for u < len(ai) && v < len(bi) {
+		switch {
+		case ai[u] < bi[v]:
+			u++
+		case bi[v] < ai[u]:
+			v++
+		default:
+			p := s.Mul(ax[u], bx[v])
+			if found {
+				acc = s.Add.Op(acc, p)
+			} else {
+				acc = p
+				found = true
+			}
+			if s.Add.Terminal != nil && s.Add.Terminal(acc) {
+				return acc, true
+			}
+			u++
+			v++
+		}
+	}
+	return acc, found
+}
+
+// heapEntry is a cursor into one selected row of B during the k-way merge.
+type heapEntry[B any] struct {
+	col int // current column of this cursor
+	pos int // position within the row
+	bi  []int
+	bx  []B
+	src int // index into A's row (for the multiplier)
+}
+
+// mxmHeap computes Z = A·B one row at a time by merging the selected rows
+// of B with a binary heap keyed on column index. Memory per worker is
+// O(row degree of A), never O(ncols) — the property that matters for
+// hypersparse outputs.
+func mxmHeap[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
+	nvec := ca.nvecs()
+	staging := newRowSlices[T](nvec)
+	parallelRanges(nvec, 8, func(lo, hi int) {
+		var heap []heapEntry[B]
+		for k := lo; k < hi; k++ {
+			ai, ax := ca.vec(k)
+			if len(ai) == 0 {
+				continue
+			}
+			row := ca.majorOf(k)
+			heap = heap[:0]
+			for t := range ai {
+				bk, ok := cb.findMajor(ai[t])
+				if !ok {
+					continue
+				}
+				bi, bx := cb.vec(bk)
+				if len(bi) == 0 {
+					continue
+				}
+				heap = append(heap, heapEntry[B]{col: bi[0], pos: 0, bi: bi, bx: bx, src: t})
+			}
+			// heapify
+			for t := len(heap)/2 - 1; t >= 0; t-- {
+				siftDown(heap, t)
+			}
+			var oi []int
+			var ox []T
+			for len(heap) > 0 {
+				top := heap[0]
+				j := top.col
+				p := s.Mul(ax[top.src], top.bx[top.pos])
+				if len(oi) > 0 && oi[len(oi)-1] == j {
+					ox[len(ox)-1] = s.Add.Op(ox[len(ox)-1], p)
+				} else {
+					oi = append(oi, j)
+					ox = append(ox, p)
+				}
+				// advance cursor
+				if top.pos+1 < len(top.bi) {
+					heap[0].pos++
+					heap[0].col = top.bi[top.pos+1]
+					siftDown(heap, 0)
+				} else {
+					heap[0] = heap[len(heap)-1]
+					heap = heap[:len(heap)-1]
+					if len(heap) > 0 {
+						siftDown(heap, 0)
+					}
+				}
+			}
+			if mm == nil {
+				staging.idx[k], staging.val[k] = oi, ox
+			} else {
+				allowed := mm.rowMask(row).cursor()
+				for t, j := range oi {
+					if allowed(j) {
+						staging.idx[k] = append(staging.idx[k], j)
+						staging.val[k] = append(staging.val[k], ox[t])
+					}
+				}
+			}
+		}
+	})
+	return stitchByA(staging, ca, nr, nc)
+}
+
+func siftDown[B any](h []heapEntry[B], i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].col < h[small].col {
+			small = l
+		}
+		if r < len(h) && h[r].col < h[small].col {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// Kronecker computes C⟨M⟩ ⊙= A ⊗kron B (the GrB_kronecker of the v1.3
+// API): C(ia·nbr+ib, ja·nbc+jb) = mul(A(ia,ja), B(ib,jb)).
+func Kronecker[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], mul BinaryOp[A, B, T], a *Matrix[A], b *Matrix[B], desc *Descriptor) error {
+	if c == nil || a == nil || b == nil || mul == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	ca := orientedCSR(a, d.TranA)
+	cb := orientedCSR(b, d.TranB)
+	nbr, nbc := cb.nmajor, cb.nminor
+	nr, nc := ca.nmajor*nbr, ca.nminor*nbc
+	if c.nr != nr || c.nc != nc {
+		return ErrDimensionMismatch
+	}
+	is := make([]int, 0, ca.nvals()*cb.nvals())
+	js := make([]int, 0, ca.nvals()*cb.nvals())
+	xs := make([]T, 0, ca.nvals()*cb.nvals())
+	for ka := 0; ka < ca.nvecs(); ka++ {
+		ia := ca.majorOf(ka)
+		aci, acx := ca.vec(ka)
+		for ta := range aci {
+			for kb := 0; kb < cb.nvecs(); kb++ {
+				ib := cb.majorOf(kb)
+				bci, bcx := cb.vec(kb)
+				for tb := range bci {
+					is = append(is, ia*nbr+ib)
+					js = append(js, aci[ta]*nbc+bci[tb])
+					xs = append(xs, mul(acx[ta], bcx[tb]))
+				}
+			}
+		}
+	}
+	z, err := assembleCS(nr, nc, is, js, xs, nil)
+	if err != nil {
+		return err
+	}
+	return writeMatrixResult(c, mask, accum, z, d)
+}

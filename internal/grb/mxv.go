@@ -1,0 +1,275 @@
+package grb
+
+import "sort"
+
+// MxV / VxM with the push–pull direction optimization of §II-E
+// (GraphBLAST): the push form is a sparse-matrix sparse-vector product
+// (work ∝ entries of the input vector and their adjacency), the pull form
+// a dot-product sweep over the output (work ∝ output dimension, with early
+// exit on terminal monoids). DirAuto switches on input-vector density,
+// reproducing the frontier-based switching of direction-optimizing BFS.
+
+// VxM computes w⟨m⟩ ⊙= uᵀ ⊕.⊗ A (row vector times matrix).
+func VxM[A, U, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], s Semiring[U, A, T], u *Vector[U], a *Matrix[A], desc *Descriptor) error {
+	if w == nil || u == nil || a == nil || s.Add.Op == nil || s.Mul == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	ar, ac := a.nr, a.nc
+	if d.TranA {
+		ar, ac = ac, ar
+	}
+	if u.n != ar || w.n != ac {
+		return ErrDimensionMismatch
+	}
+	if mask != nil && mask.n != w.n {
+		return ErrDimensionMismatch
+	}
+	mv := newMaskVec(mask, d)
+
+	dir := d.Dir
+	if dir == DirAuto {
+		dir = chooseDirection(u, a, d, mv, ac)
+	}
+
+	var zi []int
+	var zx []T
+	if dir == DirPull {
+		// Pull: dot products over output positions; needs the effective
+		// matrix in column-major order (columns of A = rows of Aᵀ).
+		caT := orientedCSC(a, d.TranA)
+		zi, zx = vxmPull(u, caT, s, mv, ac)
+	} else {
+		ca := orientedCSR(a, d.TranA)
+		zi, zx = vxmPush(u, ca, s, mv, ac)
+	}
+	return writeVectorResult(w, mask, accum, zi, zx, d)
+}
+
+// MxV computes w⟨m⟩ ⊙= A ⊕.⊗ u. It is VxM against the transposed
+// operand, with the multiplier's argument order swapped.
+func MxV[A, U, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], s Semiring[A, U, T], a *Matrix[A], u *Vector[U], desc *Descriptor) error {
+	if w == nil || u == nil || a == nil || s.Add.Op == nil || s.Mul == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	swapped := Semiring[U, A, T]{
+		Add: s.Add,
+		Mul: func(x U, y A) T { return s.Mul(y, x) },
+	}
+	d2 := d
+	d2.TranA = !d.TranA
+	// Rebuild a Descriptor carrying the resolved values.
+	nd := &Descriptor{
+		TranA: d2.TranA, Replace: d2.Replace, Comp: d2.Comp,
+		MaskValue: d2.MaskValue, Method: d2.Method, Dir: d2.Dir,
+		PushPullRatio: d2.PushPullRatio,
+	}
+	return VxM(w, mask, accum, swapped, u, a, nd)
+}
+
+// chooseDirection implements the GraphBLAST switch: pull when the input
+// vector is dense relative to its dimension (or the mask admits few
+// outputs), push otherwise.
+func chooseDirection[U, A any](u *Vector[U], a *Matrix[A], d descValues, mv *maskVec, outDim int) Direction {
+	un := u.Nvals()
+	if mv != nil && !mv.comp && mv.val == nil && len(mv.idx) < outDim/d.PushPullRatio {
+		// A sparse positive mask bounds the pull work tightly.
+		return DirPull
+	}
+	if un > u.n/d.PushPullRatio {
+		return DirPull
+	}
+	return DirPush
+}
+
+// vxmPush computes z = uᵀ·A by scattering each selected row of A
+// (Gustavson over a single "row": SpMSpV). Memory: a dense accumulator
+// when the output dimension is modest, a hash accumulator in the
+// hypersparse regime.
+func vxmPush[A, U, T any](u *Vector[U], ca *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int) ([]int, []T) {
+	ui, ux := u.materialized()
+	if outDim >= hyperThresholdDim*hyperRatio {
+		return vxmPushHash(ui, ux, ca, s, mv)
+	}
+	val := make([]T, outDim)
+	seen := make([]bool, outDim)
+	var touched []int
+	for t, k := range ui {
+		rk, ok := ca.findMajor(k)
+		if !ok {
+			continue
+		}
+		ri, rx := ca.vec(rk)
+		uv := ux[t]
+		for p := range ri {
+			j := ri[p]
+			if seen[j] {
+				if s.Add.Terminal != nil && s.Add.Terminal(val[j]) {
+					continue
+				}
+				val[j] = s.Add.Op(val[j], s.Mul(uv, rx[p]))
+			} else {
+				seen[j] = true
+				val[j] = s.Mul(uv, rx[p])
+				touched = append(touched, j)
+			}
+		}
+	}
+	sort.Ints(touched)
+	zi := make([]int, 0, len(touched))
+	zx := make([]T, 0, len(touched))
+	allowed := mv.cursor()
+	for _, j := range touched {
+		if allowed(j) {
+			zi = append(zi, j)
+			zx = append(zx, val[j])
+		}
+	}
+	return zi, zx
+}
+
+// vxmPushHash is the O(flops)-memory push used when the output dimension
+// is enormous (hypersparse regime).
+func vxmPushHash[A, U, T any](ui []int, ux []U, ca *cs[A], s Semiring[U, A, T], mv *maskVec) ([]int, []T) {
+	acc := make(map[int]T)
+	for t, k := range ui {
+		rk, ok := ca.findMajor(k)
+		if !ok {
+			continue
+		}
+		ri, rx := ca.vec(rk)
+		uv := ux[t]
+		for p := range ri {
+			j := ri[p]
+			if old, ok := acc[j]; ok {
+				if s.Add.Terminal != nil && s.Add.Terminal(old) {
+					continue
+				}
+				acc[j] = s.Add.Op(old, s.Mul(uv, rx[p]))
+			} else {
+				acc[j] = s.Mul(uv, rx[p])
+			}
+		}
+	}
+	touched := make([]int, 0, len(acc))
+	for j := range acc {
+		touched = append(touched, j)
+	}
+	sort.Ints(touched)
+	zi := make([]int, 0, len(touched))
+	zx := make([]T, 0, len(touched))
+	allowed := mv.cursor()
+	for _, j := range touched {
+		if allowed(j) {
+			zi = append(zi, j)
+			zx = append(zx, acc[j])
+		}
+	}
+	return zi, zx
+}
+
+// vxmPull computes z(j) = u·A(:,j) for each admitted output j, with early
+// exit on terminal monoids. caT is the column-major view of the effective
+// matrix, so caT's major vectors are the columns of A.
+func vxmPull[A, U, T any](u *Vector[U], caT *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int) ([]int, []T) {
+	ud, uok := u.dense()
+
+	// The admitted output set.
+	var targets []int
+	if mv != nil && !mv.comp && mv.val == nil {
+		targets = mv.idx
+	} else if mv != nil {
+		bm := mv.bitmap(outDim)
+		for j, ok := range bm {
+			if ok {
+				targets = append(targets, j)
+			}
+		}
+	}
+
+	type part struct {
+		i []int
+		x []T
+	}
+	dotCol := func(j int) (T, bool) {
+		var zero T
+		ck, ok := caT.findMajor(j)
+		if !ok {
+			return zero, false
+		}
+		ci, cx := caT.vec(ck)
+		var acc T
+		found := false
+		for t := range ci {
+			i := ci[t]
+			if !uok[i] {
+				continue
+			}
+			p := s.Mul(ud[i], cx[t])
+			if found {
+				acc = s.Add.Op(acc, p)
+			} else {
+				acc = p
+				found = true
+			}
+			if s.Add.Terminal != nil && s.Add.Terminal(acc) {
+				return acc, true
+			}
+		}
+		return acc, found
+	}
+
+	if targets != nil {
+		n := len(targets)
+		nblocks := workers()
+		if nblocks > n {
+			nblocks = 1
+		}
+		parts := make([]part, nblocks)
+		parallelRanges(nblocks, 1, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				for t := b * n / nblocks; t < (b+1)*n/nblocks; t++ {
+					j := targets[t]
+					if v, ok := dotCol(j); ok {
+						parts[b].i = append(parts[b].i, j)
+						parts[b].x = append(parts[b].x, v)
+					}
+				}
+			}
+		})
+		var zi []int
+		var zx []T
+		for _, p := range parts {
+			zi = append(zi, p.i...)
+			zx = append(zx, p.x...)
+		}
+		return zi, zx
+	}
+
+	// No mask: sweep all stored columns.
+	nvec := caT.nvecs()
+	nblocks := workers()
+	if nblocks > nvec {
+		nblocks = 1
+	}
+	parts := make([]part, nblocks)
+	parallelRanges(nblocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			for k := b * nvec / nblocks; k < (b+1)*nvec/nblocks; k++ {
+				j := caT.majorOf(k)
+				if v, ok := dotCol(j); ok {
+					parts[b].i = append(parts[b].i, j)
+					parts[b].x = append(parts[b].x, v)
+				}
+			}
+		}
+	})
+	var zi []int
+	var zx []T
+	for _, p := range parts {
+		zi = append(zi, p.i...)
+		zx = append(zx, p.x...)
+	}
+	return zi, zx
+}

@@ -1,0 +1,104 @@
+package grb
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps kernel parallelism; 0 means GOMAXPROCS. Settable for
+// experiments via SetParallelism.
+var maxWorkers = 0
+
+// SetParallelism bounds the number of worker goroutines used by parallel
+// kernels (0 restores the default of GOMAXPROCS). It returns the previous
+// setting. Not safe to call concurrently with running operations.
+func SetParallelism(n int) int {
+	old := maxWorkers
+	maxWorkers = n
+	return old
+}
+
+func workers() int {
+	if maxWorkers > 0 {
+		return maxWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRanges splits [0,n) into at most workers() contiguous ranges of
+// at least grain elements and runs fn on each concurrently. fn must be
+// safe for concurrent invocation on disjoint ranges. Results are
+// deterministic as long as fn's effects are confined to its range.
+func parallelRanges(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := workers()
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > w {
+		chunks = w
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// rowSlices is the per-row staging area used by parallel kernels: each row
+// is computed independently into its own slice pair, then stitched into a
+// compressed structure. Stitching preserves row order, so parallel results
+// are identical to sequential ones.
+type rowSlices[T any] struct {
+	idx [][]int
+	val [][]T
+}
+
+func newRowSlices[T any](n int) *rowSlices[T] {
+	return &rowSlices[T]{idx: make([][]int, n), val: make([][]T, n)}
+}
+
+// stitch assembles the staged rows into a cs. rows maps staging slot to
+// major index (nil means slot k is major index k, i.e. standard layout).
+func (r *rowSlices[T]) stitch(nmajor, nminor int, rows []int) *cs[T] {
+	total := 0
+	for _, s := range r.idx {
+		total += len(s)
+	}
+	ni := make([]int, 0, total)
+	nx := make([]T, 0, total)
+	if rows == nil {
+		p := make([]int, len(r.idx)+1)
+		for k := range r.idx {
+			ni = append(ni, r.idx[k]...)
+			nx = append(nx, r.val[k]...)
+			p[k+1] = len(ni)
+		}
+		return &cs[T]{nmajor: nmajor, nminor: nminor, p: p, i: ni, x: nx}
+	}
+	h := make([]int, 0, len(rows))
+	p := make([]int, 1, len(rows)+1)
+	for k := range r.idx {
+		if len(r.idx[k]) == 0 {
+			continue
+		}
+		ni = append(ni, r.idx[k]...)
+		nx = append(nx, r.val[k]...)
+		h = append(h, rows[k])
+		p = append(p, len(ni))
+	}
+	return &cs[T]{nmajor: nmajor, nminor: nminor, p: p, h: h, i: ni, x: nx}
+}

@@ -1,0 +1,149 @@
+package grb
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// The host running the test suite may have a single CPU; these tests pin
+// the worker count above 1 so the concurrent kernel paths are exercised
+// and verified deterministic regardless of GOMAXPROCS.
+
+func TestParallelRangesCoversAll(t *testing.T) {
+	defer SetParallelism(SetParallelism(8))
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 1000)
+	parallelRanges(1000, 10, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if seen[i].Swap(true) {
+				t.Error("index visited twice")
+			}
+			count.Add(1)
+		}
+	})
+	if count.Load() != 1000 {
+		t.Fatalf("visited %d of 1000", count.Load())
+	}
+	// Degenerate cases.
+	parallelRanges(0, 1, func(lo, hi int) { t.Error("should not run") })
+	ran := false
+	parallelRanges(1, 100, func(lo, hi int) { ran = lo == 0 && hi == 1 })
+	if !ran {
+		t.Fatal("single-element range")
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	old := SetParallelism(3)
+	if workers() != 3 {
+		t.Fatalf("workers=%d", workers())
+	}
+	SetParallelism(0)
+	if workers() < 1 {
+		t.Fatal("default workers must be >= 1")
+	}
+	SetParallelism(old)
+}
+
+// TestParallelDeterminism checks that multi-worker kernels produce results
+// identical to single-worker runs (the row-partitioned design guarantees
+// it).
+func TestParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 300
+	a := MustMatrix[int64](n, n)
+	b := MustMatrix[int64](n, n)
+	for k := 0; k < 6000; k++ {
+		_ = a.SetElement(rng.Intn(n), rng.Intn(n), int64(rng.Intn(9)-4))
+		_ = b.SetElement(rng.Intn(n), rng.Intn(n), int64(rng.Intn(9)-4))
+	}
+
+	run := func() (*Matrix[int64], *Matrix[int64], *Vector[int64]) {
+		c := MustMatrix[int64](n, n)
+		if err := MxM[int64, int64, int64, bool](c, nil, nil, PlusTimes[int64](), a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		e := MustMatrix[int64](n, n)
+		if err := EWiseAddMatrix[int64, bool](e, nil, nil, Plus[int64](), a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		r := MustVector[int64](n)
+		if err := ReduceMatrixToVector[int64, bool](r, nil, nil, PlusMonoid[int64](), a, nil); err != nil {
+			t.Fatal(err)
+		}
+		return c, e, r
+	}
+
+	defer SetParallelism(SetParallelism(1))
+	c1, e1, r1 := run()
+	SetParallelism(7)
+	c2, e2, r2 := run()
+
+	eqM := func(x, y *Matrix[int64]) bool {
+		xi, xj, xv := x.ExtractTuples()
+		yi, yj, yv := y.ExtractTuples()
+		if len(xi) != len(yi) {
+			return false
+		}
+		for k := range xi {
+			if xi[k] != yi[k] || xj[k] != yj[k] || xv[k] != yv[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eqM(c1, c2) {
+		t.Fatal("MxM differs across worker counts")
+	}
+	if !eqM(e1, e2) {
+		t.Fatal("eWiseAdd differs across worker counts")
+	}
+	i1, v1 := r1.ExtractTuples()
+	i2, v2 := r2.ExtractTuples()
+	if len(i1) != len(i2) {
+		t.Fatal("reduce length differs")
+	}
+	for k := range i1 {
+		if i1[k] != i2[k] || v1[k] != v2[k] {
+			t.Fatal("reduce differs across worker counts")
+		}
+	}
+}
+
+// TestConcurrentReads checks that read-only operations on a shared,
+// materialized matrix are safe from multiple goroutines.
+func TestConcurrentReads(t *testing.T) {
+	n := 200
+	a := MustMatrix[float64](n, n)
+	for k := 0; k < 4000; k++ {
+		_ = a.SetElement((k*7)%n, (k*13)%n, float64(k))
+	}
+	a.Wait()
+	// No cache pre-build: the first concurrent pull builds the CSC cache
+	// under its mutex.
+
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(seed int) {
+			v := MustVector[float64](n)
+			for i := 0; i < n; i++ {
+				_ = v.SetElement(i, float64(i+seed))
+			}
+			w2 := MustVector[float64](n)
+			// Alternate push and pull so both access paths (including the
+			// lazy CSC build) run concurrently.
+			d := &Descriptor{Dir: DirPush}
+			if seed%2 == 0 {
+				d.Dir = DirPull
+			}
+			err := MxV(w2, (*Vector[bool])(nil), nil, PlusTimes[float64](), a, v, d)
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package grb
+
+// Reductions of Table I: matrix→vector (row-wise), matrix→scalar, and
+// vector→scalar, all driven by a Monoid. Terminal monoid values short-cut
+// the reduction (§II-A's early-exit mechanism).
+
+// ReduceMatrixToVector computes w⟨m⟩ ⊙= ⊕ⱼ A(:,j): each output element is
+// the monoid-reduction of the corresponding row of A (or column, with
+// TranA).
+func ReduceMatrixToVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], mon Monoid[T], a *Matrix[T], desc *Descriptor) error {
+	if w == nil || a == nil || mon.Op == nil {
+		return ErrUninitialized
+	}
+	d := desc.get()
+	ar := a.nr
+	if d.TranA {
+		ar = a.nc
+	}
+	if w.n != ar {
+		return ErrDimensionMismatch
+	}
+	ca := orientedCSR(a, d.TranA)
+	nvec := ca.nvecs()
+	zi := make([]int, 0, nvec)
+	zx := make([]T, 0, nvec)
+	type part struct {
+		i []int
+		x []T
+	}
+	parts := make([]part, 0)
+	// Reduce rows in parallel blocks, then concatenate in order.
+	nblocks := workers()
+	if nblocks > nvec {
+		nblocks = 1
+	}
+	parts = make([]part, nblocks)
+	parallelRanges(nblocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * nvec / nblocks
+			hi := (b + 1) * nvec / nblocks
+			for k := lo; k < hi; k++ {
+				if ca.p[k+1] == ca.p[k] {
+					continue
+				}
+				_, cx := ca.vec(k)
+				acc := cx[0]
+				for t := 1; t < len(cx); t++ {
+					if mon.Terminal != nil && mon.Terminal(acc) {
+						break
+					}
+					acc = mon.Op(acc, cx[t])
+				}
+				parts[b].i = append(parts[b].i, ca.majorOf(k))
+				parts[b].x = append(parts[b].x, acc)
+			}
+		}
+	})
+	for _, p := range parts {
+		zi = append(zi, p.i...)
+		zx = append(zx, p.x...)
+	}
+	return writeVectorResult(w, mask, accum, zi, zx, d)
+}
+
+// ReduceMatrixToScalar reduces every stored entry of A with the monoid,
+// starting from its identity.
+func ReduceMatrixToScalar[T any](mon Monoid[T], a *Matrix[T]) (T, error) {
+	var zero T
+	if a == nil || mon.Op == nil {
+		return zero, ErrUninitialized
+	}
+	c := a.materializedCSR()
+	n := len(c.x)
+	if n == 0 {
+		return mon.Identity, nil
+	}
+	nblocks := workers()
+	if nblocks > n {
+		nblocks = 1
+	}
+	partial := make([]T, nblocks)
+	parallelRanges(nblocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * n / nblocks
+			hi := (b + 1) * n / nblocks
+			acc := mon.Identity
+			for t := lo; t < hi; t++ {
+				if mon.Terminal != nil && mon.Terminal(acc) {
+					break
+				}
+				acc = mon.Op(acc, c.x[t])
+			}
+			partial[b] = acc
+		}
+	})
+	acc := mon.Identity
+	for _, p := range partial {
+		acc = mon.Op(acc, p)
+	}
+	return acc, nil
+}
+
+// ReduceVectorToScalar reduces every stored entry of u with the monoid.
+func ReduceVectorToScalar[T any](mon Monoid[T], u *Vector[T]) (T, error) {
+	var zero T
+	if u == nil || mon.Op == nil {
+		return zero, ErrUninitialized
+	}
+	_, ux := u.materialized()
+	acc := mon.Identity
+	for _, x := range ux {
+		if mon.Terminal != nil && mon.Terminal(acc) {
+			break
+		}
+		acc = mon.Op(acc, x)
+	}
+	return acc, nil
+}

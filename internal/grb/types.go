@@ -1,0 +1,369 @@
+// Package grb is a pure-Go, generic implementation of the GraphBLAS: sparse
+// linear algebra over arbitrary semirings, designed as the substrate for the
+// LAGraph algorithm collection.
+//
+// The package follows the GraphBLAS C API specification in structure and
+// semantics — opaque Matrix and Vector objects, masks, accumulators,
+// descriptors, and a non-blocking execution model with pending tuples and
+// zombies — but maps the C API's polymorphism onto Go type parameters.
+//
+// All operations are safe for concurrent use on distinct objects. A single
+// Matrix or Vector must not be mutated concurrently.
+package grb
+
+import "errors"
+
+// API errors, mirroring the GraphBLAS C API error classes.
+var (
+	// ErrUninitialized is returned when an operation receives a nil object.
+	ErrUninitialized = errors.New("grb: uninitialized (nil) object")
+	// ErrDimensionMismatch is returned when object dimensions are not
+	// compatible with the requested operation.
+	ErrDimensionMismatch = errors.New("grb: dimension mismatch")
+	// ErrIndexOutOfBounds is returned when a row or column index lies
+	// outside the object's dimensions.
+	ErrIndexOutOfBounds = errors.New("grb: index out of bounds")
+	// ErrInvalidValue is returned for malformed arguments (negative sizes,
+	// unsorted import arrays, ...).
+	ErrInvalidValue = errors.New("grb: invalid value")
+	// ErrNoValue is returned by element extraction when no entry is stored
+	// at the requested position.
+	ErrNoValue = errors.New("grb: no entry at index")
+	// ErrEmptyObject is returned by reductions without an identity over an
+	// object holding no entries.
+	ErrEmptyObject = errors.New("grb: empty object")
+)
+
+// Int is the constraint satisfied by the built-in signed and unsigned
+// integer types.
+type Int interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+// Float is the constraint satisfied by the built-in floating point types.
+type Float interface{ ~float32 | ~float64 }
+
+// Number is the constraint satisfied by every built-in numeric type for
+// which the built-in operator sets are defined.
+type Number interface{ Int | Float }
+
+// UnaryOp maps a single input value to an output value, as used by Apply.
+type UnaryOp[A, C any] func(A) C
+
+// BinaryOp combines two values. It is the element-wise operator of
+// eWiseAdd/eWiseMult, the multiplicative operator of a semiring, the
+// duplicate-resolution operator of Build, and the accumulator of every
+// operation.
+type BinaryOp[A, B, C any] func(A, B) C
+
+// IndexUnaryOp maps a stored value together with its position to an output
+// value. It drives Select and ApplyIndex. For vectors the column index j is
+// always 0.
+type IndexUnaryOp[A, C any] func(a A, i, j int) C
+
+// Monoid is an associative BinaryOp with an identity element. Terminal, if
+// non-nil, reports whether a value is an annihilator for the operation
+// (e.g. true for LOR, 0 for TIMES over integers): once a reduction reaches
+// a terminal value it may stop early. The paper (§II-A) describes this
+// early-exit mechanism as the enabler of direction-optimized BFS.
+type Monoid[T any] struct {
+	Op       func(T, T) T
+	Identity T
+	Terminal func(T) bool // nil if the monoid has no terminal value
+}
+
+// Semiring pairs an additive Monoid with a multiplicative BinaryOp, the
+// ⊕.⊗ of the GraphBLAS math specification.
+type Semiring[A, B, C any] struct {
+	Add Monoid[C]
+	Mul BinaryOp[A, B, C]
+}
+
+//
+// Built-in unary operators.
+//
+
+// Identity returns the identity unary operator.
+func Identity[T any]() UnaryOp[T, T] { return func(x T) T { return x } }
+
+// AbsOp returns |x| for signed numeric types.
+func AbsOp[T Number]() UnaryOp[T, T] {
+	return func(x T) T {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+}
+
+// AInv returns the additive inverse operator -x.
+func AInv[T Number]() UnaryOp[T, T] { return func(x T) T { return -x } }
+
+// MInv returns the multiplicative inverse operator 1/x.
+func MInv[T Float]() UnaryOp[T, T] { return func(x T) T { return 1 / x } }
+
+// LNot returns logical negation.
+func LNot() UnaryOp[bool, bool] { return func(x bool) bool { return !x } }
+
+// One returns the operator that maps every input to 1, useful for
+// converting a matrix to its pattern.
+func One[A any, C Number]() UnaryOp[A, C] { return func(A) C { return 1 } }
+
+//
+// Built-in binary operators.
+//
+
+// First returns f(x,y) = x.
+func First[A, B any]() BinaryOp[A, B, A] { return func(x A, _ B) A { return x } }
+
+// Second returns f(x,y) = y.
+func Second[A, B any]() BinaryOp[A, B, B] { return func(_ A, y B) B { return y } }
+
+// Pair returns f(x,y) = 1 regardless of the inputs (the ONEB operator of
+// the v2 C API), the workhorse of triangle counting.
+func Pair[A, B any, C Number]() BinaryOp[A, B, C] { return func(A, B) C { return 1 } }
+
+// Plus returns x + y.
+func Plus[T Number]() BinaryOp[T, T, T] { return func(x, y T) T { return x + y } }
+
+// Minus returns x - y.
+func Minus[T Number]() BinaryOp[T, T, T] { return func(x, y T) T { return x - y } }
+
+// Times returns x * y.
+func Times[T Number]() BinaryOp[T, T, T] { return func(x, y T) T { return x * y } }
+
+// Div returns x / y.
+func Div[T Number]() BinaryOp[T, T, T] { return func(x, y T) T { return x / y } }
+
+// MinOp returns min(x, y).
+func MinOp[T Number]() BinaryOp[T, T, T] {
+	return func(x, y T) T {
+		if y < x {
+			return y
+		}
+		return x
+	}
+}
+
+// MaxOp returns max(x, y).
+func MaxOp[T Number]() BinaryOp[T, T, T] {
+	return func(x, y T) T {
+		if y > x {
+			return y
+		}
+		return x
+	}
+}
+
+// LOr returns logical or.
+func LOr() BinaryOp[bool, bool, bool] { return func(x, y bool) bool { return x || y } }
+
+// LAnd returns logical and.
+func LAnd() BinaryOp[bool, bool, bool] { return func(x, y bool) bool { return x && y } }
+
+// LXor returns logical exclusive-or.
+func LXor() BinaryOp[bool, bool, bool] { return func(x, y bool) bool { return x != y } }
+
+// Eq returns x == y.
+func Eq[T comparable]() BinaryOp[T, T, bool] { return func(x, y T) bool { return x == y } }
+
+// Ne returns x != y.
+func Ne[T comparable]() BinaryOp[T, T, bool] { return func(x, y T) bool { return x != y } }
+
+// Lt returns x < y.
+func Lt[T Number]() BinaryOp[T, T, bool] { return func(x, y T) bool { return x < y } }
+
+// Gt returns x > y.
+func Gt[T Number]() BinaryOp[T, T, bool] { return func(x, y T) bool { return x > y } }
+
+// Le returns x <= y.
+func Le[T Number]() BinaryOp[T, T, bool] { return func(x, y T) bool { return x <= y } }
+
+// Ge returns x >= y.
+func Ge[T Number]() BinaryOp[T, T, bool] { return func(x, y T) bool { return x >= y } }
+
+//
+// Built-in monoids.
+//
+
+// PlusMonoid is the (+, 0) monoid.
+func PlusMonoid[T Number]() Monoid[T] {
+	return Monoid[T]{Op: func(x, y T) T { return x + y }, Identity: 0}
+}
+
+// TimesMonoid is the (*, 1) monoid. For integer types 0 is terminal.
+func TimesMonoid[T Number]() Monoid[T] {
+	return Monoid[T]{Op: func(x, y T) T { return x * y }, Identity: 1}
+}
+
+// MinMonoid is the (min, +inf) monoid; the maximum representable value is
+// the identity and the minimum representable value is terminal.
+func MinMonoid[T Number]() Monoid[T] {
+	hi, lo := maxVal[T](), minVal[T]()
+	return Monoid[T]{
+		Op: func(x, y T) T {
+			if y < x {
+				return y
+			}
+			return x
+		},
+		Identity: hi,
+		Terminal: func(x T) bool { return x == lo },
+	}
+}
+
+// MaxMonoid is the (max, -inf) monoid.
+func MaxMonoid[T Number]() Monoid[T] {
+	hi, lo := maxVal[T](), minVal[T]()
+	return Monoid[T]{
+		Op: func(x, y T) T {
+			if y > x {
+				return y
+			}
+			return x
+		},
+		Identity: lo,
+		Terminal: func(x T) bool { return x == hi },
+	}
+}
+
+// LOrMonoid is the (||, false) monoid; true is terminal. Its terminal value
+// is what makes the "pull" step of direction-optimized BFS cheap.
+func LOrMonoid() Monoid[bool] {
+	return Monoid[bool]{
+		Op:       func(x, y bool) bool { return x || y },
+		Identity: false,
+		Terminal: func(x bool) bool { return x },
+	}
+}
+
+// LAndMonoid is the (&&, true) monoid; false is terminal.
+func LAndMonoid() Monoid[bool] {
+	return Monoid[bool]{
+		Op:       func(x, y bool) bool { return x && y },
+		Identity: true,
+		Terminal: func(x bool) bool { return !x },
+	}
+}
+
+// LXorMonoid is the (xor, false) monoid.
+func LXorMonoid() Monoid[bool] {
+	return Monoid[bool]{Op: func(x, y bool) bool { return x != y }, Identity: false}
+}
+
+// AnyMonoid returns either operand (here: the second). It is the ANY monoid
+// of SuiteSparse: every value is terminal, so reductions stop at the first
+// hit.
+func AnyMonoid[T any]() Monoid[T] {
+	var zero T
+	return Monoid[T]{
+		Op:       func(_, y T) T { return y },
+		Identity: zero,
+		Terminal: func(T) bool { return true },
+	}
+}
+
+//
+// Built-in semirings. The names follow the AddMonoid+MulOp convention of
+// the C API (PlusTimes = GrB_PLUS_TIMES_SEMIRING_*).
+//
+
+// PlusTimes is the conventional arithmetic semiring (+, *).
+func PlusTimes[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: PlusMonoid[T](), Mul: Times[T]()}
+}
+
+// MinPlus is the tropical semiring (min, +) of shortest paths.
+func MinPlus[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: MinMonoid[T](), Mul: Plus[T]()}
+}
+
+// MaxPlus is the (max, +) semiring of critical paths.
+func MaxPlus[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: MaxMonoid[T](), Mul: Plus[T]()}
+}
+
+// MinTimes is the (min, *) semiring.
+func MinTimes[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: MinMonoid[T](), Mul: Times[T]()}
+}
+
+// MinMax is the (min, max) semiring of bottleneck paths.
+func MinMax[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: MinMonoid[T](), Mul: MaxOp[T]()}
+}
+
+// LorLand is the boolean (||, &&) semiring of reachability; the
+// LogicalSemiring of Fig. 2 of the paper.
+func LorLand() Semiring[bool, bool, bool] {
+	return Semiring[bool, bool, bool]{Add: LOrMonoid(), Mul: LAnd()}
+}
+
+// PlusPair is the (+, pair) semiring that counts set intersections; the
+// triangle-counting semiring.
+func PlusPair[A, B any, C Number]() Semiring[A, B, C] {
+	return Semiring[A, B, C]{Add: PlusMonoid[C](), Mul: Pair[A, B, C]()}
+}
+
+// PlusFirst is the (+, first) semiring.
+func PlusFirst[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: PlusMonoid[T](), Mul: First[T, T]()}
+}
+
+// PlusSecond is the (+, second) semiring.
+func PlusSecond[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: PlusMonoid[T](), Mul: Second[T, T]()}
+}
+
+// MinFirst is the (min, first) semiring: w = A min.first v selects the
+// smallest contributing row value, used by BFS parent computation.
+func MinFirst[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: MinMonoid[T](), Mul: First[T, T]()}
+}
+
+// MinSecond is the (min, second) semiring.
+func MinSecond[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: MinMonoid[T](), Mul: Second[T, T]()}
+}
+
+// MaxSecond is the (max, second) semiring.
+func MaxSecond[T Number]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: MaxMonoid[T](), Mul: Second[T, T]()}
+}
+
+// AnySecond is the (any, second) semiring: the cheapest possible "does a
+// neighbour exist, and carry its value" reduction.
+func AnySecond[T any]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: AnyMonoid[T](), Mul: Second[T, T]()}
+}
+
+// AnyFirst is the (any, first) semiring.
+func AnyFirst[T any]() Semiring[T, T, T] {
+	return Semiring[T, T, T]{Add: AnyMonoid[T](), Mul: First[T, T]()}
+}
+
+// maxVal returns the largest representable value of T: the MIN monoid
+// identity ("+infinity"; literally +Inf for floating point types). It is
+// computed by doubling until overflow, which Go defines as wraparound for
+// integers and saturation to +Inf for floats.
+func maxVal[T Number]() T {
+	m := T(1)
+	for {
+		n := m + m
+		if n <= m {
+			break
+		}
+		m = n
+	}
+	return m - 1 + m
+}
+
+// minVal returns the smallest representable value of T: the MAX monoid
+// identity (0 for unsigned, -Inf for floats).
+func minVal[T Number]() T {
+	if T(0)-T(1) > 0 { // unsigned
+		return 0
+	}
+	return -maxVal[T]() - 1
+}

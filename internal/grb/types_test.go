@@ -1,0 +1,184 @@
+package grb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxVal(t *testing.T) {
+	if maxVal[int8]() != 127 || minVal[int8]() != -128 {
+		t.Fatalf("int8: %d %d", maxVal[int8](), minVal[int8]())
+	}
+	if maxVal[uint8]() != 255 || minVal[uint8]() != 0 {
+		t.Fatalf("uint8: %d %d", maxVal[uint8](), minVal[uint8]())
+	}
+	if maxVal[int32]() != math.MaxInt32 || minVal[int32]() != math.MinInt32 {
+		t.Fatal("int32")
+	}
+	if maxVal[int64]() != math.MaxInt64 || minVal[int64]() != math.MinInt64 {
+		t.Fatal("int64")
+	}
+	if maxVal[uint64]() != math.MaxUint64 {
+		t.Fatal("uint64")
+	}
+	if !math.IsInf(maxVal[float64](), 1) || !math.IsInf(minVal[float64](), -1) {
+		t.Fatal("float64")
+	}
+	if !math.IsInf(float64(maxVal[float32]()), 1) {
+		t.Fatal("float32")
+	}
+}
+
+func TestMonoidIdentities(t *testing.T) {
+	cases := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"plus", PlusMonoid[int64]().Identity, 0},
+		{"times", TimesMonoid[int64]().Identity, 1},
+		{"min", MinMonoid[int64]().Identity, math.MaxInt64},
+		{"max", MaxMonoid[int64]().Identity, math.MinInt64},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s identity: got %d want %d", c.name, c.got, c.want)
+		}
+	}
+	if LOrMonoid().Identity != false || LAndMonoid().Identity != true {
+		t.Error("bool monoid identities")
+	}
+}
+
+func TestMonoidTerminals(t *testing.T) {
+	if !LOrMonoid().Terminal(true) || LOrMonoid().Terminal(false) {
+		t.Error("lor terminal")
+	}
+	if !LAndMonoid().Terminal(false) || LAndMonoid().Terminal(true) {
+		t.Error("land terminal")
+	}
+	if !MinMonoid[int32]().Terminal(math.MinInt32) || MinMonoid[int32]().Terminal(0) {
+		t.Error("min terminal")
+	}
+	if !MaxMonoid[uint16]().Terminal(math.MaxUint16) || MaxMonoid[uint16]().Terminal(5) {
+		t.Error("max terminal")
+	}
+	if !AnyMonoid[int]().Terminal(12345) {
+		t.Error("any monoid: everything is terminal")
+	}
+}
+
+// Property: monoid laws — identity and associativity — for the built-ins.
+func TestQuickMonoidLaws(t *testing.T) {
+	monoids := map[string]Monoid[int64]{
+		"plus": PlusMonoid[int64](),
+		"min":  MinMonoid[int64](),
+		"max":  MaxMonoid[int64](),
+	}
+	for name, m := range monoids {
+		m := m
+		t.Run(name+"/identity", func(t *testing.T) {
+			f := func(x int64) bool {
+				return m.Op(m.Identity, x) == x && m.Op(x, m.Identity) == x
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Run(name+"/assoc", func(t *testing.T) {
+			f := func(x, y, z int16) bool {
+				a, b, c := int64(x), int64(y), int64(z)
+				return m.Op(m.Op(a, b), c) == m.Op(a, m.Op(b, c))
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Run(name+"/comm", func(t *testing.T) {
+			f := func(x, y int64) bool { return m.Op(x, y) == m.Op(y, x) }
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: semiring distributivity for min-plus on bounded inputs (no
+// overflow regime).
+func TestQuickMinPlusDistributes(t *testing.T) {
+	s := MinPlus[int64]()
+	f := func(a, b, c int16) bool {
+		x, y, z := int64(a), int64(b), int64(c)
+		// x ⊗ (y ⊕ z) == (x ⊗ y) ⊕ (x ⊗ z)
+		lhs := s.Mul(x, s.Add.Op(y, z))
+		rhs := s.Add.Op(s.Mul(x, y), s.Mul(x, z))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryOpsAndPredicates(t *testing.T) {
+	if First[int, string]()(3, "x") != 3 {
+		t.Error("first")
+	}
+	if Second[int, string]()(3, "x") != "x" {
+		t.Error("second")
+	}
+	if Pair[int, int, int64]()(9, 9) != 1 {
+		t.Error("pair")
+	}
+	if MinOp[int]()(2, 5) != 2 || MaxOp[int]()(2, 5) != 5 {
+		t.Error("min/max")
+	}
+	if Div[float64]()(1, 4) != 0.25 {
+		t.Error("div")
+	}
+	if !Lt[int]()(1, 2) || Gt[int]()(1, 2) || !Le[int]()(2, 2) || !Ge[int]()(2, 2) {
+		t.Error("comparisons")
+	}
+	if !Eq[string]()("a", "a") || !Ne[int]()(1, 2) {
+		t.Error("eq/ne")
+	}
+	if LXor()(true, true) || !LXor()(true, false) {
+		t.Error("xor")
+	}
+	if AbsOp[int]()(-4) != 4 || AInv[int]()(4) != -4 || MInv[float64]()(4) != 0.25 {
+		t.Error("unary")
+	}
+	if One[string, int]()("zzz") != 1 {
+		t.Error("one")
+	}
+	if LNot()(true) {
+		t.Error("lnot")
+	}
+	if Identity[int]()(7) != 7 {
+		t.Error("identity op")
+	}
+}
+
+func TestSelectPredicates(t *testing.T) {
+	if !Tril[int](0)(0, 3, 3) || Tril[int](0)(0, 2, 3) {
+		t.Error("tril")
+	}
+	if !Triu[int](1)(0, 2, 3) || Triu[int](1)(0, 3, 3) {
+		t.Error("triu")
+	}
+	if !Diag[int](0)(0, 5, 5) || Diag[int](0)(0, 5, 6) {
+		t.Error("diag")
+	}
+	if OffDiag[int]()(0, 5, 5) || !OffDiag[int]()(0, 5, 6) {
+		t.Error("offdiag")
+	}
+	if !ValueGT(int32(3))(4, 0, 0) || ValueGT(int32(3))(3, 0, 0) {
+		t.Error("valueGT")
+	}
+	if !ValueGE(3)(3, 0, 0) || !ValueLT(3)(2, 0, 0) {
+		t.Error("valueGE/LT")
+	}
+	if !ValueNE(3)(4, 0, 0) || !ValueEQ(3)(3, 0, 0) {
+		t.Error("valueNE/EQ")
+	}
+}

@@ -1,0 +1,306 @@
+package grb
+
+import "sort"
+
+// Vector is an opaque GraphBLAS vector of dimension n holding entries of
+// type T. Entries are stored sparsely (sorted index list plus values);
+// single-element mutations buffer as pending tuples like Matrix.
+type Vector[T any] struct {
+	n   int
+	idx []int // sorted; zombie entries flipped (^i)
+	x   []T
+
+	pend   []tuple[T] // j field unused
+	pendOp func(T, T) T
+	nzomb  int
+}
+
+// NewVector creates an empty vector of dimension n.
+func NewVector[T any](n int) (*Vector[T], error) {
+	if n < 0 {
+		return nil, ErrInvalidValue
+	}
+	return &Vector[T]{n: n}, nil
+}
+
+// MustVector is NewVector for static dimensions known to be valid.
+func MustVector[T any](n int) *Vector[T] {
+	v, err := NewVector[T](n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Size returns the vector's dimension.
+func (v *Vector[T]) Size() int { return v.n }
+
+// Nvals returns the number of stored entries, forcing pending work first.
+func (v *Vector[T]) Nvals() int {
+	v.Wait()
+	return len(v.idx)
+}
+
+// Clear removes all entries.
+func (v *Vector[T]) Clear() {
+	v.idx = v.idx[:0]
+	v.x = v.x[:0]
+	v.pend = nil
+	v.pendOp = nil
+	v.nzomb = 0
+}
+
+// Dup returns a deep copy.
+func (v *Vector[T]) Dup() *Vector[T] {
+	v.Wait()
+	return &Vector[T]{
+		n:   v.n,
+		idx: append([]int(nil), v.idx...),
+		x:   append([]T(nil), v.x...),
+	}
+}
+
+// SetElement stores v(i) = x as a pending tuple.
+func (v *Vector[T]) SetElement(i int, x T) error {
+	if i < 0 || i >= v.n {
+		return ErrIndexOutOfBounds
+	}
+	if v.pendOp != nil {
+		v.Wait()
+	}
+	v.pend = append(v.pend, tuple[T]{i: i, x: x})
+	return nil
+}
+
+// accumElement buffers v(i) = v(i) ⊙ x.
+func (v *Vector[T]) accumElement(i int, x T, op func(T, T) T) {
+	if (v.pendOp == nil && len(v.pend) > 0) || (v.pendOp != nil && len(v.pend) == 0) {
+		v.Wait()
+	}
+	v.pendOp = op
+	v.pend = append(v.pend, tuple[T]{i: i, x: x})
+}
+
+// MergeElement buffers v(i) ← op(v(i), x) (or v(i)=x if absent) through
+// the pending-tuple mechanism: a long gather-scatter sequence costs
+// O(p log p) at the next materialization. All buffered updates must share
+// one operator; switching forces assembly.
+func (v *Vector[T]) MergeElement(i int, x T, op BinaryOp[T, T, T]) error {
+	if i < 0 || i >= v.n {
+		return ErrIndexOutOfBounds
+	}
+	if op == nil {
+		return ErrUninitialized
+	}
+	v.accumElement(i, x, op)
+	return nil
+}
+
+// RemoveElement deletes v(i) if present (zombie tagging).
+func (v *Vector[T]) RemoveElement(i int) error {
+	if i < 0 || i >= v.n {
+		return ErrIndexOutOfBounds
+	}
+	if len(v.pend) > 0 {
+		v.Wait()
+	}
+	pos := searchFlipped(v.idx, i)
+	if pos < len(v.idx) && v.idx[pos] == i { // live entry (zombies are negative)
+		v.idx[pos] = ^i
+		v.nzomb++
+	}
+	return nil
+}
+
+// unflip recovers the index a zombie entry was flipped from.
+func unflip(i int) int {
+	if i < 0 {
+		return ^i
+	}
+	return i
+}
+
+// searchFlipped binary-searches an index slice that may contain zombies:
+// flipping preserves the ordering of the underlying indices, so the search
+// compares unflipped values.
+func searchFlipped(idx []int, i int) int {
+	return sort.Search(len(idx), func(k int) bool { return unflip(idx[k]) >= i })
+}
+
+// GetElement returns v(i), or ErrNoValue if no entry is stored.
+func (v *Vector[T]) GetElement(i int) (T, error) {
+	var zero T
+	if i < 0 || i >= v.n {
+		return zero, ErrIndexOutOfBounds
+	}
+	v.Wait()
+	pos := sort.SearchInts(v.idx, i)
+	if pos < len(v.idx) && v.idx[pos] == i {
+		return v.x[pos], nil
+	}
+	return zero, ErrNoValue
+}
+
+// Pending reports buffered updates and zombies. Diagnostic.
+func (v *Vector[T]) Pending() (tuples, zombies int) { return len(v.pend), v.nzomb }
+
+// Wait assembles pending tuples and reclaims zombies.
+func (v *Vector[T]) Wait() {
+	if v.nzomb == 0 && len(v.pend) == 0 {
+		return
+	}
+	pend := v.pend
+	op := v.pendOp
+	v.pend = nil
+	v.pendOp = nil
+	v.nzomb = 0
+
+	if len(pend) > 1 {
+		sort.SliceStable(pend, func(a, b int) bool { return pend[a].i < pend[b].i })
+		w := 0
+		for r := 1; r < len(pend); r++ {
+			if pend[r].i == pend[w].i {
+				if op != nil {
+					pend[w].x = op(pend[w].x, pend[r].x)
+				} else {
+					pend[w].x = pend[r].x
+				}
+			} else {
+				w++
+				pend[w] = pend[r]
+			}
+		}
+		pend = pend[:w+1]
+	}
+
+	ni := make([]int, 0, len(v.idx)+len(pend))
+	nx := make([]T, 0, len(v.idx)+len(pend))
+	s, pk := 0, 0
+	for s < len(v.idx) || pk < len(pend) {
+		for s < len(v.idx) && v.idx[s] < 0 { // zombie
+			s++
+		}
+		haveO := s < len(v.idx)
+		haveP := pk < len(pend)
+		switch {
+		case haveO && (!haveP || v.idx[s] < pend[pk].i):
+			ni = append(ni, v.idx[s])
+			nx = append(nx, v.x[s])
+			s++
+		case haveP && (!haveO || pend[pk].i < v.idx[s]):
+			ni = append(ni, pend[pk].i)
+			nx = append(nx, pend[pk].x)
+			pk++
+		case haveO && haveP:
+			val := pend[pk].x
+			if op != nil {
+				val = op(v.x[s], pend[pk].x)
+			}
+			ni = append(ni, v.idx[s])
+			nx = append(nx, val)
+			s++
+			pk++
+		default:
+			s = len(v.idx)
+		}
+	}
+	v.idx, v.x = ni, nx
+}
+
+// Build assembles a vector from coordinate tuples, combining duplicates
+// with dup (nil means duplicates are an error).
+func (v *Vector[T]) Build(is []int, xs []T, dup BinaryOp[T, T, T]) error {
+	if len(is) != len(xs) {
+		return ErrInvalidValue
+	}
+	if len(v.idx) != 0 || len(v.pend) > 0 {
+		return ErrInvalidValue
+	}
+	for _, i := range is {
+		if i < 0 || i >= v.n {
+			return ErrIndexOutOfBounds
+		}
+	}
+	perm := make([]int, len(is))
+	for k := range perm {
+		perm[k] = k
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return is[perm[a]] < is[perm[b]] })
+	ni := make([]int, 0, len(is))
+	nx := make([]T, 0, len(is))
+	last := -1
+	for _, k := range perm {
+		if is[k] == last {
+			if dup == nil {
+				return ErrInvalidValue
+			}
+			nx[len(nx)-1] = dup(nx[len(nx)-1], xs[k])
+			continue
+		}
+		ni = append(ni, is[k])
+		nx = append(nx, xs[k])
+		last = is[k]
+	}
+	v.idx, v.x = ni, nx
+	return nil
+}
+
+// ExtractTuples returns the stored entries as parallel slices.
+func (v *Vector[T]) ExtractTuples() (is []int, xs []T) {
+	v.Wait()
+	return append([]int(nil), v.idx...), append([]T(nil), v.x...)
+}
+
+// ImportSparse wraps a sorted index list and values as a Vector in O(1),
+// taking ownership of the slices. Validation is O(nvals) unless trusted.
+func ImportSparse[T any](n int, idx []int, x []T, trusted bool) (*Vector[T], error) {
+	if n < 0 || len(idx) != len(x) {
+		return nil, ErrInvalidValue
+	}
+	if !trusted {
+		prev := -1
+		for _, i := range idx {
+			if i <= prev || i >= n {
+				return nil, ErrInvalidValue
+			}
+			prev = i
+		}
+	}
+	return &Vector[T]{n: n, idx: idx, x: x}, nil
+}
+
+// ExportSparse removes the index and value slices from the vector in O(1),
+// handing ownership to the caller; the vector is emptied.
+func (v *Vector[T]) ExportSparse() (n int, idx []int, x []T) {
+	v.Wait()
+	n, idx, x = v.n, v.idx, v.x
+	v.idx, v.x = nil, nil
+	return
+}
+
+// DenseVector creates a vector with entries at every index, copying xs.
+func DenseVector[T any](xs []T) *Vector[T] {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Vector[T]{n: len(xs), idx: idx, x: append([]T(nil), xs...)}
+}
+
+// materialized completes pending work and returns the internal slices.
+func (v *Vector[T]) materialized() ([]int, []T) {
+	v.Wait()
+	return v.idx, v.x
+}
+
+// dense scatters the vector into a fresh dense slice plus presence flags.
+func (v *Vector[T]) dense() ([]T, []bool) {
+	v.Wait()
+	xs := make([]T, v.n)
+	ok := make([]bool, v.n)
+	for k, i := range v.idx {
+		xs[i] = v.x[k]
+		ok[i] = true
+	}
+	return xs, ok
+}

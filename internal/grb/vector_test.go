@@ -1,0 +1,187 @@
+package grb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := MustVector[float64](10)
+	if v.Size() != 10 {
+		t.Fatalf("size=%d", v.Size())
+	}
+	if err := v.SetElement(3, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElement(10, 1); err != ErrIndexOutOfBounds {
+		t.Fatalf("oob: %v", err)
+	}
+	x, err := v.GetElement(3)
+	if err != nil || x != 1.5 {
+		t.Fatalf("get: (%v,%v)", x, err)
+	}
+	if _, err := v.GetElement(4); err != ErrNoValue {
+		t.Fatalf("missing: %v", err)
+	}
+	_ = v.SetElement(3, 2.5)
+	if v.Nvals() != 1 {
+		t.Fatalf("nvals=%d", v.Nvals())
+	}
+	_ = v.RemoveElement(3)
+	if v.Nvals() != 0 {
+		t.Fatalf("after remove nvals=%d", v.Nvals())
+	}
+}
+
+func TestVectorPendingAndZombies(t *testing.T) {
+	v := MustVector[int](100)
+	for k := 0; k < 20; k++ {
+		_ = v.SetElement(k*3, k)
+	}
+	pend, _ := v.Pending()
+	if pend != 20 {
+		t.Fatalf("pending=%d", pend)
+	}
+	if v.Nvals() != 20 {
+		t.Fatalf("nvals=%d", v.Nvals())
+	}
+	_ = v.RemoveElement(0)
+	_ = v.RemoveElement(3)
+	_, zomb := v.Pending()
+	if zomb != 2 {
+		t.Fatalf("zombies=%d", zomb)
+	}
+	if v.Nvals() != 18 {
+		t.Fatalf("after removals nvals=%d", v.Nvals())
+	}
+	// Resurrect.
+	_ = v.RemoveElement(6)
+	_ = v.SetElement(6, 99)
+	if x, _ := v.GetElement(6); x != 99 {
+		t.Fatalf("resurrect: %v", x)
+	}
+}
+
+func TestVectorBuildAndDuplicates(t *testing.T) {
+	v := MustVector[int](10)
+	if err := v.Build([]int{1, 1, 5}, []int{2, 3, 4}, Plus[int]()); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := v.GetElement(1); x != 5 {
+		t.Fatalf("dup sum: %d", x)
+	}
+	w := MustVector[int](10)
+	if err := w.Build([]int{1, 1}, []int{2, 3}, nil); err != ErrInvalidValue {
+		t.Fatalf("dup without op: %v", err)
+	}
+	u := MustVector[int](10)
+	if err := u.Build([]int{12}, []int{1}, nil); err != ErrIndexOutOfBounds {
+		t.Fatalf("oob: %v", err)
+	}
+}
+
+func TestVectorImportExport(t *testing.T) {
+	v, err := ImportSparse(10, []int{2, 5, 7}, []int{20, 50, 70}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Nvals() != 3 {
+		t.Fatalf("nvals=%d", v.Nvals())
+	}
+	n, idx, x := v.ExportSparse()
+	if n != 10 || len(idx) != 3 || v.Nvals() != 0 {
+		t.Fatal("export should empty the vector")
+	}
+	w, err := ImportSparse(n, idx, x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.GetElement(5); got != 50 {
+		t.Fatalf("roundtrip: %d", got)
+	}
+	// Unsorted import rejected.
+	if _, err := ImportSparse(10, []int{5, 2}, []int{1, 2}, false); err != ErrInvalidValue {
+		t.Fatalf("unsorted: %v", err)
+	}
+}
+
+func TestDenseVector(t *testing.T) {
+	v := DenseVector([]float64{1, 2, 3})
+	if v.Size() != 3 || v.Nvals() != 3 {
+		t.Fatal("dense vector shape")
+	}
+	if x, _ := v.GetElement(2); x != 3 {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+// Property: a sequence of SetElement calls equals one Build (last wins).
+func TestQuickVectorSetEqualsBuild(t *testing.T) {
+	f := func(idx []uint8, vals []int16) bool {
+		n := 256
+		m := min(len(idx), len(vals))
+		a := MustVector[int64](n)
+		for k := 0; k < m; k++ {
+			_ = a.SetElement(int(idx[k]), int64(vals[k]))
+		}
+		b := MustVector[int64](n)
+		is := make([]int, m)
+		xs := make([]int64, m)
+		for k := 0; k < m; k++ {
+			is[k] = int(idx[k])
+			xs[k] = int64(vals[k])
+		}
+		if err := b.Build(is, xs, Second[int64, int64]()); err != nil {
+			return false
+		}
+		ai, ax := a.ExtractTuples()
+		bi, bx := b.ExtractTuples()
+		if len(ai) != len(bi) {
+			return false
+		}
+		for k := range ai {
+			if ai[k] != bi[k] || ax[k] != bx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved removals and insertions behave like a map.
+func TestQuickVectorVsMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		n := 64
+		v := MustVector[int64](n)
+		model := map[int]int64{}
+		for _, op := range ops {
+			i := int(op) % n
+			if i < 0 {
+				i = -i
+			}
+			if op%3 == 0 {
+				_ = v.RemoveElement(i)
+				delete(model, i)
+			} else {
+				_ = v.SetElement(i, int64(op))
+				model[i] = int64(op)
+			}
+		}
+		if v.Nvals() != len(model) {
+			return false
+		}
+		for i, want := range model {
+			got, err := v.GetElement(i)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

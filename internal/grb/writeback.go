@@ -1,0 +1,220 @@
+package grb
+
+// This file implements the C API's output write rule, shared by every
+// operation: C⟨M,replace⟩ ⊙= Z, where Z is the fully-computed result of
+// the operation proper. The rule (spec §2.4):
+//
+//   - positions admitted by the mask take the merged value: with no
+//     accumulator Z replaces C there (including deletions where Z has no
+//     entry); with an accumulator, C ⊙ Z where both exist, else whichever
+//     exists;
+//   - positions not admitted keep their previous C value, unless Replace
+//     is set, in which case they are deleted.
+
+// writeVectorResult applies the write rule to vector w given result entries
+// (zidx, zx) sorted ascending.
+func writeVectorResult[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], zidx []int, zx []T, d descValues) error {
+	if mask != nil && mask.n != w.n {
+		return ErrDimensionMismatch
+	}
+	mv := newMaskVec(mask, d)
+	widx, wx := w.materialized()
+	allowed := mv.cursor()
+
+	ni := make([]int, 0, len(zidx)+len(widx))
+	nx := make([]T, 0, len(zidx)+len(widx))
+	s, k := 0, 0 // cursors into w and z
+	for s < len(widx) || k < len(zidx) {
+		var i int
+		haveW := s < len(widx)
+		haveZ := k < len(zidx)
+		switch {
+		case haveW && (!haveZ || widx[s] < zidx[k]):
+			i = widx[s]
+			if allowed(i) {
+				// admitted, z missing: deletion unless accumulating
+				if accum != nil {
+					ni = append(ni, i)
+					nx = append(nx, wx[s])
+				}
+			} else if !d.Replace {
+				ni = append(ni, i)
+				nx = append(nx, wx[s])
+			}
+			s++
+		case haveZ && (!haveW || zidx[k] < widx[s]):
+			i = zidx[k]
+			if allowed(i) {
+				ni = append(ni, i)
+				nx = append(nx, zx[k])
+			}
+			k++
+		default: // both present at the same index
+			i = widx[s]
+			if allowed(i) {
+				v := zx[k]
+				if accum != nil {
+					v = accum(wx[s], zx[k])
+				}
+				ni = append(ni, i)
+				nx = append(nx, v)
+			} else if !d.Replace {
+				ni = append(ni, i)
+				nx = append(nx, wx[s])
+			}
+			s++
+			k++
+		}
+	}
+	w.idx, w.x = ni, nx
+	return nil
+}
+
+// writeMatrixResult applies the write rule to matrix c given the computed
+// result z in row-major compressed form.
+func writeMatrixResult[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], z *cs[T], d descValues) error {
+	if z.nmajor != c.nr || z.nminor != c.nc {
+		return ErrDimensionMismatch
+	}
+	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
+		return ErrDimensionMismatch
+	}
+	mm := newMaskMat(mask, d)
+	old := c.materializedCSR()
+
+	// Fast path: no mask, no accumulator → adopt z wholesale.
+	if mm == nil && accum == nil {
+		c.csr = z
+		c.csc = nil
+		c.maybeConvertFormat()
+		return nil
+	}
+
+	est := old.nvals() + z.nvals()
+	ni := make([]int, 0, est)
+	nx := make([]T, 0, est)
+	var np, nh []int
+	hyper := old.h != nil && z.h != nil
+	if hyper {
+		np = append(np, 0)
+	} else {
+		np = make([]int, 1, c.nr+1)
+	}
+
+	// Row iterators over possibly-hypersparse old and z.
+	ok, zk := 0, 0
+	emit := func(row int, oi []int, ox []T, zi []int, zx []T) {
+		var rm *maskVec
+		if mm != nil {
+			rm = mm.rowMask(row)
+		}
+		allowed := rm.cursor()
+		if mm == nil {
+			allowed = func(int) bool { return true }
+		}
+		s, k := 0, 0
+		for s < len(oi) || k < len(zi) {
+			haveW := s < len(oi)
+			haveZ := k < len(zi)
+			switch {
+			case haveW && (!haveZ || oi[s] < zi[k]):
+				j := oi[s]
+				if allowed(j) {
+					if accum != nil {
+						ni = append(ni, j)
+						nx = append(nx, ox[s])
+					}
+				} else if !d.Replace {
+					ni = append(ni, j)
+					nx = append(nx, ox[s])
+				}
+				s++
+			case haveZ && (!haveW || zi[k] < oi[s]):
+				j := zi[k]
+				if allowed(j) {
+					ni = append(ni, j)
+					nx = append(nx, zx[k])
+				}
+				k++
+			default:
+				j := oi[s]
+				if allowed(j) {
+					v := zx[k]
+					if accum != nil {
+						v = accum(ox[s], zx[k])
+					}
+					ni = append(ni, j)
+					nx = append(nx, v)
+				} else if !d.Replace {
+					ni = append(ni, j)
+					nx = append(nx, ox[s])
+				}
+				s++
+				k++
+			}
+		}
+	}
+
+	closeRow := func(row int) {
+		if hyper {
+			if len(ni) > np[len(np)-1] {
+				nh = append(nh, row)
+				np = append(np, len(ni))
+			}
+		} else {
+			np = append(np, len(ni))
+		}
+	}
+
+	rowOf := func(cs *cs[T], k int) (int, bool) {
+		if k >= cs.nvecs() {
+			return 0, false
+		}
+		return cs.majorOf(k), true
+	}
+
+	for {
+		ro, hasO := rowOf(old, ok)
+		rz, hasZ := rowOf(z, zk)
+		if !hasO && !hasZ {
+			break
+		}
+		var row int
+		switch {
+		case !hasO:
+			row = rz
+		case !hasZ:
+			row = ro
+		default:
+			row = min(ro, rz)
+		}
+		var oi, zi []int
+		var ox, zx []T
+		if hasO && ro == row {
+			oi, ox = old.vec(ok)
+			ok++
+		}
+		if hasZ && rz == row {
+			zi, zx = z.vec(zk)
+			zk++
+		}
+		if !hyper {
+			// close empty rows up to 'row'
+			for len(np)-1 < row {
+				np = append(np, len(ni))
+			}
+		}
+		emit(row, oi, ox, zi, zx)
+		closeRow(row)
+	}
+	if !hyper {
+		for len(np)-1 < c.nr {
+			np = append(np, len(ni))
+		}
+	}
+
+	c.csr = &cs[T]{nmajor: c.nr, nminor: c.nc, p: np, h: nh, i: ni, x: nx}
+	c.csc = nil
+	c.maybeConvertFormat()
+	return nil
+}

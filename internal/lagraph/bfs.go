@@ -1,0 +1,214 @@
+package lagraph
+
+import "lagraph/internal/grb"
+
+// Breadth-first search in the language of linear algebra (§V, and the
+// worked example of Fig. 2 of the paper). Three formulations are
+// provided:
+//
+//   - BFSLevelSimple: the level-synchronous loop of Fig. 2, transcribed
+//     line by line;
+//   - BFSLevels/BFSParents: the production form with explicit direction
+//     control and per-iteration statistics;
+//   - direction-optimizing traversal (push–pull) following Beamer et al.
+//     as realised in GraphBLAST (§II-E), driven by the frontier density.
+
+// BFSStats records per-iteration traversal decisions for the
+// direction-optimization experiments (reproduction of §II-E).
+type BFSStats struct {
+	// FrontierSizes holds nvals(frontier) at the start of each iteration.
+	FrontierSizes []int
+	// Directions holds the direction used in each iteration.
+	Directions []grb.Direction
+	// Depth is the number of BFS levels discovered (eccentricity+1 of the
+	// source within its component).
+	Depth int
+}
+
+// BFSOption configures a BFS run.
+type BFSOption func(*bfsConfig)
+
+type bfsConfig struct {
+	dir   grb.Direction
+	ratio int
+	stats *BFSStats
+}
+
+// WithDirection forces push or pull traversal for every iteration
+// (DirAuto, the default, switches adaptively).
+func WithDirection(d grb.Direction) BFSOption {
+	return func(c *bfsConfig) { c.dir = d }
+}
+
+// WithPushPullRatio overrides the frontier-density threshold at which
+// DirAuto switches from push to pull.
+func WithPushPullRatio(r int) BFSOption {
+	return func(c *bfsConfig) { c.ratio = r }
+}
+
+// WithStats records per-iteration traversal statistics into s.
+func WithStats(s *BFSStats) BFSOption {
+	return func(c *bfsConfig) { c.stats = s }
+}
+
+// BFSLevelSimple is the level BFS of Fig. 2, Go flavour. levels(i)
+// receives the 1-based BFS depth of vertex i; unreached vertices hold no
+// entry.
+//
+//	depth ← 0
+//	while nvals(frontier) > 0:
+//	    depth ← depth+1
+//	    levels[frontier] ← depth
+//	    frontier⟨¬levels,replace⟩ ← frontierᵀ ⊕.⊗ graph  (LogicalSemiring)
+func BFSLevelSimple(g *Graph, src int) (*grb.Vector[int32], error) {
+	if err := g.checkSource(src); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	levels := grb.MustVector[int32](n)
+	frontier := grb.MustVector[bool](n)
+	_ = frontier.SetElement(src, true)
+	logical := grb.Semiring[bool, float64, bool]{Add: grb.LOrMonoid(), Mul: grb.First[bool, float64]()}
+	depth := int32(0)
+	for frontier.Nvals() > 0 {
+		depth++
+		if err := grb.AssignVectorScalar(levels, frontier, nil, depth, grb.All, nil); err != nil {
+			return nil, err
+		}
+		if err := grb.VxM(frontier, levels, nil, logical, frontier, g.A, grb.DescRSC); err != nil {
+			return nil, err
+		}
+	}
+	return levels, nil
+}
+
+// BFSLevels computes 0-based BFS levels with direction-optimized
+// traversal. Unreached vertices hold no entry.
+func BFSLevels(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int32], error) {
+	if err := g.checkSource(src); err != nil {
+		return nil, err
+	}
+	cfg := bfsConfig{dir: grb.DirAuto, ratio: 0}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := g.N()
+	levels := grb.MustVector[int32](n)
+	frontier := grb.MustVector[bool](n)
+	_ = frontier.SetElement(src, true)
+	logical := grb.Semiring[bool, float64, bool]{Add: grb.LOrMonoid(), Mul: grb.First[bool, float64]()}
+	depth := int32(0)
+	for {
+		nf := frontier.Nvals()
+		if nf == 0 {
+			break
+		}
+		if cfg.stats != nil {
+			cfg.stats.FrontierSizes = append(cfg.stats.FrontierSizes, nf)
+			cfg.stats.Directions = append(cfg.stats.Directions, resolveDir(cfg, nf, n))
+		}
+		if err := grb.AssignVectorScalar(levels, frontier, nil, depth, grb.All, nil); err != nil {
+			return nil, err
+		}
+		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.dir, PushPullRatio: cfg.ratio}
+		if err := grb.VxM(frontier, levels, nil, logical, frontier, g.A, d); err != nil {
+			return nil, err
+		}
+		depth++
+	}
+	if cfg.stats != nil {
+		cfg.stats.Depth = int(depth)
+	}
+	return levels, nil
+}
+
+// resolveDir mirrors the DirAuto choice for statistics recording.
+func resolveDir(cfg bfsConfig, nf, n int) grb.Direction {
+	if cfg.dir != grb.DirAuto {
+		return cfg.dir
+	}
+	ratio := cfg.ratio
+	if ratio <= 0 {
+		ratio = 16
+	}
+	if nf > n/ratio {
+		return grb.DirPull
+	}
+	return grb.DirPush
+}
+
+// BFSParents computes the BFS parent vector: parents(i) is the vertex
+// from which i was first reached; the source is its own parent. It uses
+// the (any, first) semiring over frontier values that carry vertex ids —
+// the early-exit ANY monoid makes every pull dot product stop at the
+// first hit (§II-A).
+func BFSParents(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int64], error) {
+	if err := g.checkSource(src); err != nil {
+		return nil, err
+	}
+	cfg := bfsConfig{dir: grb.DirAuto}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := g.N()
+	parents := grb.MustVector[int64](n)
+	_ = parents.SetElement(src, int64(src))
+	frontier := grb.MustVector[int64](n)
+	_ = frontier.SetElement(src, int64(src))
+	// w(j) = any_{i in frontier} frontier(i): carries a parent id.
+	anyFirst := grb.Semiring[int64, float64, int64]{Add: grb.AnyMonoid[int64](), Mul: grb.First[int64, float64]()}
+	for frontier.Nvals() > 0 {
+		// frontier⟨¬parents,replace⟩ = frontier ⊕.⊗ A
+		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.dir, PushPullRatio: cfg.ratio}
+		if err := grb.VxM(frontier, parents, nil, anyFirst, frontier, g.A, d); err != nil {
+			return nil, err
+		}
+		// parents⟨frontier⟩ = frontier (the discovered parent ids).
+		if err := grb.AssignVector(parents, frontier, nil, frontier, grb.All, nil); err != nil {
+			return nil, err
+		}
+		// Reload the frontier with its own vertex ids for the next hop.
+		if err := grb.ApplyIndexVector[int64, int64, bool](frontier, nil, nil,
+			func(_ int64, i, _ int) int64 { return int64(i) }, frontier, nil); err != nil {
+			return nil, err
+		}
+	}
+	return parents, nil
+}
+
+// BFSBoth returns levels and parents in one traversal.
+func BFSBoth(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int32], *grb.Vector[int64], error) {
+	if err := g.checkSource(src); err != nil {
+		return nil, nil, err
+	}
+	cfg := bfsConfig{dir: grb.DirAuto}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := g.N()
+	levels := grb.MustVector[int32](n)
+	parents := grb.MustVector[int64](n)
+	_ = parents.SetElement(src, int64(src))
+	frontier := grb.MustVector[int64](n)
+	_ = frontier.SetElement(src, int64(src))
+	anyFirst := grb.Semiring[int64, float64, int64]{Add: grb.AnyMonoid[int64](), Mul: grb.First[int64, float64]()}
+	depth := int32(0)
+	for frontier.Nvals() > 0 {
+		if err := grb.AssignVectorScalar(levels, frontier, nil, depth, grb.All, nil); err != nil {
+			return nil, nil, err
+		}
+		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.dir, PushPullRatio: cfg.ratio}
+		if err := grb.VxM(frontier, parents, nil, anyFirst, frontier, g.A, d); err != nil {
+			return nil, nil, err
+		}
+		if err := grb.AssignVector(parents, frontier, nil, frontier, grb.All, nil); err != nil {
+			return nil, nil, err
+		}
+		if err := grb.ApplyIndexVector[int64, int64, bool](frontier, nil, nil,
+			func(_ int64, i, _ int) int64 { return int64(i) }, frontier, nil); err != nil {
+			return nil, nil, err
+		}
+		depth++
+	}
+	return levels, parents, nil
+}

@@ -1,0 +1,60 @@
+package lagraph
+
+import "lagraph/internal/grb"
+
+// Pseudo-diameter estimation by double-sweep BFS (a standard LAGraph
+// utility): run a BFS from a start vertex, hop to the farthest vertex
+// found, and repeat until the eccentricity estimate stops growing. The
+// result is a lower bound on the true diameter, exact on trees.
+
+// PseudoDiameter returns the estimated diameter of the component
+// containing start, together with the two endpoint vertices of the
+// realizing path.
+func PseudoDiameter(g *Graph, start int, maxSweeps int) (diameter int32, from, to int, err error) {
+	if err := g.checkSource(start); err != nil {
+		return 0, 0, 0, err
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 8
+	}
+	from = start
+	best := int32(-1)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		levels, err := BFSLevels(g, from)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		ecc, err := grb.ReduceVectorToScalar(grb.MaxMonoid[int32](), levels)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// Find a vertex at maximum level.
+		far := from
+		li, lx := levels.ExtractTuples()
+		for k := range li {
+			if lx[k] == ecc {
+				far = li[k]
+				break
+			}
+		}
+		if ecc <= best {
+			return best, from, to, nil
+		}
+		best = ecc
+		to = far
+		if sweep+1 < maxSweeps {
+			from, to = far, from
+		}
+	}
+	return best, to, from, nil
+}
+
+// Eccentricity returns the BFS eccentricity of a vertex (the maximum
+// level of any reachable vertex).
+func Eccentricity(g *Graph, v int) (int32, error) {
+	levels, err := BFSLevels(g, v)
+	if err != nil {
+		return 0, err
+	}
+	return grb.ReduceVectorToScalar(grb.MaxMonoid[int32](), levels)
+}

@@ -1,0 +1,60 @@
+package lagraph
+
+import (
+	"testing"
+
+	"lagraph/internal/gen"
+)
+
+func TestEccentricityAndDiameterOnPath(t *testing.T) {
+	g := FromEdgeList(gen.Path(10, gen.Config{Undirected: true}), Undirected)
+	ecc, err := Eccentricity(g, 0)
+	if err != nil || ecc != 9 {
+		t.Fatalf("ecc(0)=%d (%v)", ecc, err)
+	}
+	ecc, err = Eccentricity(g, 5)
+	if err != nil || ecc != 5 {
+		t.Fatalf("ecc(5)=%d (%v)", ecc, err)
+	}
+	// Double sweep finds the exact diameter on a path from any start.
+	for _, start := range []int{0, 4, 9} {
+		d, from, to, err := PseudoDiameter(g, start, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 9 {
+			t.Fatalf("diameter from %d: %d", start, d)
+		}
+		if (from != 0 || to != 9) && (from != 9 || to != 0) {
+			t.Fatalf("endpoints %d-%d", from, to)
+		}
+	}
+}
+
+func TestPseudoDiameterOnGridAndRing(t *testing.T) {
+	// 6x6 grid: diameter 10.
+	g := FromEdgeList(gen.Grid2D(6, 6, gen.Config{Undirected: true}), Undirected)
+	d, _, _, err := PseudoDiameter(g, 14, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 10 {
+		t.Fatalf("grid diameter %d want 10", d)
+	}
+	// Ring of 12: diameter 6.
+	r := FromEdgeList(gen.Ring(12, gen.Config{Undirected: true}), Undirected)
+	d, _, _, err = PseudoDiameter(r, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 6 {
+		t.Fatalf("ring diameter %d want 6", d)
+	}
+}
+
+func TestPseudoDiameterBadArgs(t *testing.T) {
+	g := FromEdgeList(gen.Ring(5, gen.Config{Undirected: true}), Undirected)
+	if _, _, _, err := PseudoDiameter(g, 99, 4); err != ErrBadArgument {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+package lagraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lagraph/internal/baseline"
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+)
+
+func TestCollaborativeFilteringRecoversLowRank(t *testing.T) {
+	// Synthesize ratings from a rank-3 model plus noise, observe 30%,
+	// train, and check the RMSE drops well below the initial error and
+	// that held-out predictions are close.
+	rng := rand.New(rand.NewSource(21))
+	nu, ni, rank := 60, 50, 3
+	uTrue := make([][]float64, nu)
+	vTrue := make([][]float64, ni)
+	for i := range uTrue {
+		uTrue[i] = make([]float64, rank)
+		for f := range uTrue[i] {
+			uTrue[i][f] = rng.NormFloat64()
+		}
+	}
+	for j := range vTrue {
+		vTrue[j] = make([]float64, rank)
+		for f := range vTrue[j] {
+			vTrue[j][f] = rng.NormFloat64()
+		}
+	}
+	rating := func(i, j int) float64 {
+		s := 0.0
+		for f := 0; f < rank; f++ {
+			s += uTrue[i][f] * vTrue[j][f]
+		}
+		return s
+	}
+	r := grb.MustMatrix[float64](nu, ni)
+	type obs struct {
+		i, j int
+		v    float64
+	}
+	var held []obs
+	for i := 0; i < nu; i++ {
+		for j := 0; j < ni; j++ {
+			switch {
+			case rng.Float64() < 0.3:
+				_ = r.SetElement(i, j, rating(i, j))
+			case rng.Float64() < 0.02:
+				held = append(held, obs{i, j, rating(i, j)})
+			}
+		}
+	}
+	model, err := CollaborativeFiltering(r, rank, 0.1, 0.01, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := model.RMSE[0], model.RMSE[len(model.RMSE)-1]
+	if last > first/4 {
+		t.Fatalf("training did not converge: rmse %v → %v", first, last)
+	}
+	if last > 0.2 {
+		t.Fatalf("final training rmse too high: %v", last)
+	}
+	// Held-out error should beat the trivial predictor (mean ~0, rmse ~
+	// sqrt(rank) ≈ 1.7).
+	sse := 0.0
+	for _, o := range held {
+		p, err := model.Predict(o.i, o.j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse += (p - o.v) * (p - o.v)
+	}
+	rmse := math.Sqrt(sse / float64(len(held)))
+	if rmse > 1.0 {
+		t.Fatalf("held-out rmse %v", rmse)
+	}
+}
+
+func TestCollaborativeFilteringBadArgs(t *testing.T) {
+	r := grb.MustMatrix[float64](3, 3)
+	if _, err := CollaborativeFiltering(r, 0, 0.1, 0, 5, 1); err != ErrBadArgument {
+		t.Fatal("rank 0")
+	}
+	if _, err := CollaborativeFiltering(r, 2, 0.1, 0, 5, 1); err != ErrBadArgument {
+		t.Fatal("no observations")
+	}
+}
+
+func TestCountSubgraphs(t *testing.T) {
+	// K4: every vertex is on 3 triangles and C(3,2)=3 wedges.
+	k4 := FromEdgeList(gen.Complete(4, gen.Config{Undirected: true}), Undirected)
+	sc, err := CountSubgraphs(k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalTriangles != 4 {
+		t.Fatalf("total triangles=%d", sc.TotalTriangles)
+	}
+	if sc.TotalWedges != 12 {
+		t.Fatalf("total wedges=%d", sc.TotalWedges)
+	}
+	for v := 0; v < 4; v++ {
+		tv, _ := sc.Triangles.GetElement(v)
+		wv, _ := sc.Wedges.GetElement(v)
+		if tv != 3 || wv != 3 {
+			t.Fatalf("vertex %d: tri=%d wedges=%d", v, tv, wv)
+		}
+	}
+}
+
+func TestCountSubgraphsMatchesTriangleCount(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		g := rmatGraph(t, 8, 8, seed, true)
+		sc, err := CountSubgraphs(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := TriangleCount(g, TCSandiaLL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.TotalTriangles != want {
+			t.Fatalf("subgraph total %d, TC %d", sc.TotalTriangles, want)
+		}
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// K4 is perfectly clustered.
+	k4 := FromEdgeList(gen.Complete(4, gen.Config{Undirected: true}), Undirected)
+	cc, global, err := ClusteringCoefficient(k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(global-1) > 1e-12 {
+		t.Fatalf("global transitivity %v", global)
+	}
+	for v := 0; v < 4; v++ {
+		c, _ := cc.GetElement(v)
+		if math.Abs(c-1) > 1e-12 {
+			t.Fatalf("cc[%d]=%v", v, c)
+		}
+	}
+	// A star has no triangles: transitivity 0.
+	star := FromEdgeList(gen.Star(6, gen.Config{Undirected: true}), Undirected)
+	_, global, err = ClusteringCoefficient(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global != 0 {
+		t.Fatalf("star transitivity %v", global)
+	}
+}
+
+func TestKCoreMatchesBaseline(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		e := gen.ErdosRenyi(150, 900, gen.Config{Seed: seed, Undirected: true, NoSelfLoops: true})
+		g := FromEdgeList(e, Undirected)
+		want := baseline.KCoreDecomposition(baseline.FromMatrix(g.A.Dup()))
+		got, err := KCore(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			gv, err := got.GetElement(v)
+			if err != nil {
+				gv = 0 // isolated vertices carry no entry
+			}
+			if int(gv) != want[v] {
+				t.Fatalf("seed %d: core[%d]=%d want %d", seed, v, gv, want[v])
+			}
+		}
+	}
+}
+
+func TestKCoreStructured(t *testing.T) {
+	// K5 with a path tail: clique vertices have core 4, the tail 1.
+	e := gen.Complete(5, gen.Config{Undirected: true})
+	e.N = 8
+	add := func(u, v int) {
+		e.Src = append(e.Src, u, v)
+		e.Dst = append(e.Dst, v, u)
+		e.W = append(e.W, 1, 1)
+	}
+	add(4, 5)
+	add(5, 6)
+	add(6, 7)
+	g := FromEdgeList(e, Undirected)
+	core, err := KCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if c, _ := core.GetElement(v); c != 4 {
+			t.Fatalf("core[%d]=%d want 4", v, c)
+		}
+	}
+	for v := 5; v < 8; v++ {
+		if c, _ := core.GetElement(v); c != 1 {
+			t.Fatalf("core[%d]=%d want 1", v, c)
+		}
+	}
+	deg, err := Coreness(g)
+	if err != nil || deg != 4 {
+		t.Fatalf("coreness %d (%v)", deg, err)
+	}
+}
+
+// Force the parallel kernel paths (the CI host may have one CPU).
+func TestAlgorithmsUnderForcedParallelism(t *testing.T) {
+	defer grb.SetParallelism(grb.SetParallelism(6))
+	g := rmatGraph(t, 8, 8, 31, true)
+	bg := baseline.FromMatrix(g.A.Dup())
+
+	levels, err := BFSLevels(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := baseline.BFSLevels(bg, 0)
+	levelsMatch(t, levels, want, 0)
+
+	tc, err := TriangleCount(g, TCSandiaLL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc != baseline.TriangleCount(bg) {
+		t.Fatal("triangle count differs under parallelism")
+	}
+
+	ccv, err := ConnectedComponentsFastSV(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	componentsMatch(t, ccv, baseline.ConnectedComponents(bg))
+}

@@ -1,0 +1,96 @@
+package lagraph
+
+import (
+	"math"
+
+	"lagraph/internal/grb"
+)
+
+// HITS (Kleinberg's hubs and authorities): the §V list is explicitly
+// non-exhaustive, and HITS is the other classic ranking that is pure
+// linear algebra — alternating a = Aᵀh, h = Aa with normalization, i.e.
+// the power method on AᵀA / AAᵀ.
+
+// HITSResult carries the two scores and convergence information.
+type HITSResult struct {
+	Hubs        *grb.Vector[float64]
+	Authorities *grb.Vector[float64]
+	Iterations  int
+	Converged   bool
+}
+
+// HITS computes hub and authority scores, stopping when the L1 change of
+// both vectors drops below tol.
+func HITS(g *Graph, tol float64, maxIter int) (*HITSResult, error) {
+	if maxIter <= 0 || tol <= 0 {
+		return nil, ErrBadArgument
+	}
+	n := g.N()
+	hubs := grb.DenseVector(constants(n, 1/math.Sqrt(float64(n))))
+	auth := grb.DenseVector(constants(n, 1/math.Sqrt(float64(n))))
+	plusSecond := grb.PlusSecond[float64]()
+
+	for iter := 1; iter <= maxIter; iter++ {
+		// a' = Aᵀ h (authorities collect from in-links).
+		newAuth := grb.MustVector[float64](n)
+		if err := grb.MxV(newAuth, (*grb.Vector[bool])(nil), nil, plusSecond, g.A, hubs, grb.DescT0); err != nil {
+			return nil, err
+		}
+		if err := normalizeL2(newAuth, n); err != nil {
+			return nil, err
+		}
+		// h' = A a' (hubs collect from out-links).
+		newHubs := grb.MustVector[float64](n)
+		if err := grb.MxV(newHubs, (*grb.Vector[bool])(nil), nil, plusSecond, g.A, newAuth, nil); err != nil {
+			return nil, err
+		}
+		if err := normalizeL2(newHubs, n); err != nil {
+			return nil, err
+		}
+		dh, err := l1diff(newHubs, hubs, n)
+		if err != nil {
+			return nil, err
+		}
+		da, err := l1diff(newAuth, auth, n)
+		if err != nil {
+			return nil, err
+		}
+		hubs, auth = newHubs, newAuth
+		if dh+da < tol {
+			return &HITSResult{Hubs: hubs, Authorities: auth, Iterations: iter, Converged: true}, nil
+		}
+	}
+	return &HITSResult{Hubs: hubs, Authorities: auth, Iterations: maxIter, Converged: false}, nil
+}
+
+// normalizeL2 scales v to unit Euclidean norm (no-op on a zero vector).
+func normalizeL2(v *grb.Vector[float64], n int) error {
+	sq := grb.MustVector[float64](n)
+	if err := grb.ApplyVector[float64, float64, bool](sq, nil, nil,
+		func(x float64) float64 { return x * x }, v, nil); err != nil {
+		return err
+	}
+	ss, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), sq)
+	if err != nil {
+		return err
+	}
+	if ss == 0 {
+		return nil
+	}
+	inv := 1 / math.Sqrt(ss)
+	return grb.ApplyVectorBind2nd[float64, float64, float64, bool](v, nil, nil,
+		grb.Times[float64](), v, inv, nil)
+}
+
+// l1diff returns ‖u − v‖₁ over the union of patterns.
+func l1diff(u, v *grb.Vector[float64], n int) (float64, error) {
+	d := grb.MustVector[float64](n)
+	if err := grb.EWiseUnionVector[float64, bool](d, nil, nil, grb.Minus[float64](), u, 0, v, 0, nil); err != nil {
+		return 0, err
+	}
+	abs := grb.MustVector[float64](n)
+	if err := grb.ApplyVector[float64, float64, bool](abs, nil, nil, math.Abs, d, nil); err != nil {
+		return 0, err
+	}
+	return grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), abs)
+}

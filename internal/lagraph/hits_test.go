@@ -1,0 +1,76 @@
+package lagraph
+
+import (
+	"math"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+)
+
+func TestHITSBipartiteCore(t *testing.T) {
+	// Hub 0 points at authorities 1..4; vertex 5 points at 1 only.
+	el := &gen.EdgeList{N: 6}
+	for v := 1; v <= 4; v++ {
+		el.Src = append(el.Src, 0)
+		el.Dst = append(el.Dst, v)
+		el.W = append(el.W, 1)
+	}
+	el.Src = append(el.Src, 5)
+	el.Dst = append(el.Dst, 1)
+	el.W = append(el.W, 1)
+	g := FromEdgeList(el, Directed)
+
+	res, err := HITS(g, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("should converge")
+	}
+	h0, _ := res.Hubs.GetElement(0)
+	h5, _ := res.Hubs.GetElement(5)
+	if h0 <= h5 {
+		t.Fatalf("hub(0)=%v must dominate hub(5)=%v", h0, h5)
+	}
+	a1, _ := res.Authorities.GetElement(1)
+	a2, _ := res.Authorities.GetElement(2)
+	if a1 <= a2 {
+		t.Fatalf("authority(1)=%v must dominate authority(2)=%v", a1, a2)
+	}
+	// Pure hubs have no authority entry; pure authorities no hub entry.
+	if _, err := res.Authorities.GetElement(0); err == nil {
+		t.Fatal("vertex 0 has no in-links: no authority score")
+	}
+}
+
+func TestHITSNormalization(t *testing.T) {
+	g := rmatGraph(t, 8, 8, 3, false)
+	res, err := HITS(g, 1e-9, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]*grb.Vector[float64]{"hubs": res.Hubs, "auth": res.Authorities} {
+		_, xs := v.ExtractTuples()
+		ss := 0.0
+		for _, x := range xs {
+			if x < 0 {
+				t.Fatalf("%s: negative score", name)
+			}
+			ss += x * x
+		}
+		if math.Abs(ss-1) > 1e-6 {
+			t.Fatalf("%s: ‖v‖₂²=%v, want 1", name, ss)
+		}
+	}
+}
+
+func TestHITSBadArgs(t *testing.T) {
+	g := rmatGraph(t, 5, 4, 1, false)
+	if _, err := HITS(g, 0, 10); err != ErrBadArgument {
+		t.Fatal("tol")
+	}
+	if _, err := HITS(g, 1e-6, 0); err != ErrBadArgument {
+		t.Fatal("iters")
+	}
+}

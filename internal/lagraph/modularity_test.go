@@ -1,0 +1,108 @@
+package lagraph
+
+import (
+	"math"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+)
+
+func twoCliquesGraph() *Graph {
+	e := gen.Complete(5, gen.Config{Undirected: true})
+	e2 := gen.Complete(5, gen.Config{Undirected: true})
+	e.N = 10
+	for k := range e2.Src {
+		e.Src = append(e.Src, e2.Src[k]+5)
+		e.Dst = append(e.Dst, e2.Dst[k]+5)
+		e.W = append(e.W, 1)
+	}
+	return FromEdgeList(e, Undirected)
+}
+
+func labelVec(labels []int64) *grb.Vector[int64] {
+	return grb.DenseVector(labels)
+}
+
+func TestModularityTwoCliques(t *testing.T) {
+	g := twoCliquesGraph()
+	// Perfect split: Q = 1 - 2·(1/2)² = 0.5 for two equal disconnected
+	// communities.
+	good := labelVec([]int64{0, 0, 0, 0, 0, 1, 1, 1, 1, 1})
+	q, err := Modularity(g, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("good split Q=%v want 0.5", q)
+	}
+	// Everything in one cluster: Q = 1 - 1 = 0.
+	all := labelVec(make([]int64, 10))
+	q, err = Modularity(g, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q) > 1e-12 {
+		t.Fatalf("single cluster Q=%v want 0", q)
+	}
+	// A bad split (mixing the cliques) scores lower than the good one.
+	bad := labelVec([]int64{0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	qb, err := Modularity(g, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb >= 0.5 {
+		t.Fatalf("bad split Q=%v should be < 0.5", qb)
+	}
+}
+
+func TestModularityScoresMCL(t *testing.T) {
+	// MCL's clustering of two bridged cliques must score higher than the
+	// trivial all-in-one clustering.
+	e := gen.Complete(6, gen.Config{Undirected: true})
+	e2 := gen.Complete(6, gen.Config{Undirected: true})
+	e.N = 12
+	for k := range e2.Src {
+		e.Src = append(e.Src, e2.Src[k]+6)
+		e.Dst = append(e.Dst, e2.Dst[k]+6)
+		e.W = append(e.W, 1)
+	}
+	e.Src = append(e.Src, 0, 6)
+	e.Dst = append(e.Dst, 6, 0)
+	e.W = append(e.W, 1, 1)
+	g := FromEdgeList(e, Undirected)
+
+	labels, err := MarkovClustering(g, 2, 1e-6, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qMCL, err := Modularity(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qTrivial, err := Modularity(g, labelVec(make([]int64, 12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qMCL <= qTrivial {
+		t.Fatalf("MCL Q=%v should beat trivial Q=%v", qMCL, qTrivial)
+	}
+	if qMCL < 0.3 {
+		t.Fatalf("MCL Q=%v suspiciously low", qMCL)
+	}
+}
+
+func TestModularityErrors(t *testing.T) {
+	g := twoCliquesGraph()
+	if _, err := Modularity(g, nil); err == nil {
+		t.Fatal("nil labels")
+	}
+	short := grb.MustVector[int64](3)
+	if _, err := Modularity(g, short); err != grb.ErrDimensionMismatch {
+		t.Fatal("dims")
+	}
+	d := FromEdgeList(gen.Path(4, gen.Config{}), Directed)
+	if _, err := Modularity(d, labelVec(make([]int64, 4))); err != ErrNotUndirected {
+		t.Fatal("directed")
+	}
+}

@@ -1,0 +1,139 @@
+package lagraph
+
+import (
+	"math"
+
+	"lagraph/internal/grb"
+)
+
+// PageRank (§V, [39]) in the GAP-benchmark formulation used by LAGraph:
+// rank is held in a dense vector, importance flows along transposed
+// edges, dangling vertices redistribute uniformly, and iteration stops on
+// an L1-norm tolerance.
+
+// PageRankResult carries the ranking and convergence information.
+type PageRankResult struct {
+	Rank       *grb.Vector[float64]
+	Iterations int
+	Converged  bool
+}
+
+// PageRank computes the damped PageRank of every vertex.
+func PageRank(g *Graph, damping, tol float64, maxIter int) (*PageRankResult, error) {
+	if damping <= 0 || damping >= 1 || maxIter <= 0 {
+		return nil, ErrBadArgument
+	}
+	n := g.N()
+	nf := float64(n)
+
+	// dOut(i) = out-degree; invOut(i) = damping / dOut(i) where dOut>0.
+	deg := g.OutDegree()
+	invOut := grb.MustVector[float64](n)
+	if err := grb.ApplyVector[int64, float64, bool](invOut, nil, nil,
+		func(d int64) float64 { return 1 / float64(d) }, deg, nil); err != nil {
+		return nil, err
+	}
+	// dangling mask: vertices with no out-edges.
+	danglingMask := deg // structural complement used below
+
+	r := grb.DenseVector(constants(n, 1/nf))
+	w := grb.MustVector[float64](n)
+	plusSecond := grb.PlusSecond[float64]()
+
+	for iter := 1; iter <= maxIter; iter++ {
+		// Dangling mass this round.
+		dr := grb.MustVector[float64](n)
+		if err := grb.ExtractVector(dr, danglingMask, nil, r, grb.All, grb.DescC); err != nil {
+			return nil, err
+		}
+		danglingMass, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), dr)
+		if err != nil {
+			return nil, err
+		}
+
+		// out(i) = r(i)/deg(i) for non-dangling vertices.
+		out := grb.MustVector[float64](n)
+		if err := grb.EWiseMultVector[float64, float64, float64, bool](out, nil, nil, grb.Times[float64](), r, invOut, nil); err != nil {
+			return nil, err
+		}
+		// w = Aᵀ ⊕.⊗ out (importance flows along in-edges). The
+		// plus.second semiring ignores the stored weight: PageRank is a
+		// structural algorithm.
+		if err := grb.MxV(w, (*grb.Vector[bool])(nil), nil, plusSecond, g.A, out, grb.DescT0); err != nil {
+			return nil, err
+		}
+		base := (1-damping)/nf + damping*danglingMass/nf
+		rNew := grb.DenseVector(constants(n, base))
+		if err := grb.EWiseAddVector[float64, bool](rNew, nil, nil, grb.Plus[float64](), rNew, scaled(w, damping, n), nil); err != nil {
+			return nil, err
+		}
+
+		// L1 distance ‖rNew - r‖₁.
+		diff := grb.MustVector[float64](n)
+		if err := grb.EWiseAddVector[float64, bool](diff, nil, nil, grb.Minus[float64](), rNew, r, nil); err != nil {
+			return nil, err
+		}
+		abs := grb.MustVector[float64](n)
+		if err := grb.ApplyVector[float64, float64, bool](abs, nil, nil, math.Abs, diff, nil); err != nil {
+			return nil, err
+		}
+		l1, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), abs)
+		if err != nil {
+			return nil, err
+		}
+		r = rNew
+		if l1 < tol {
+			return &PageRankResult{Rank: r, Iterations: iter, Converged: true}, nil
+		}
+	}
+	return &PageRankResult{Rank: r, Iterations: maxIter, Converged: false}, nil
+}
+
+func constants(n int, v float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = v
+	}
+	return xs
+}
+
+func scaled(v *grb.Vector[float64], f float64, n int) *grb.Vector[float64] {
+	w := grb.MustVector[float64](n)
+	if err := grb.ApplyVector[float64, float64, bool](w, nil, nil,
+		func(x float64) float64 { return f * x }, v, nil); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// TopK returns the indices of the k largest entries of a rank vector, in
+// descending order.
+func TopK(v *grb.Vector[float64], k int) []int {
+	is, xs := v.ExtractTuples()
+	type pair struct {
+		i int
+		x float64
+	}
+	ps := make([]pair, len(is))
+	for t := range is {
+		ps[t] = pair{is[t], xs[t]}
+	}
+	// partial selection sort for small k
+	if k > len(ps) {
+		k = len(ps)
+	}
+	for a := 0; a < k; a++ {
+		best := a
+		for b := a + 1; b < len(ps); b++ {
+			if ps[b].x > ps[best].x {
+				best = b
+			}
+		}
+		ps[a], ps[best] = ps[best], ps[a]
+	}
+	out := make([]int, k)
+	for a := 0; a < k; a++ {
+		out[a] = ps[a].i
+	}
+	return out
+}

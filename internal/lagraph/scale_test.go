@@ -1,0 +1,101 @@
+package lagraph
+
+import (
+	"testing"
+
+	"lagraph/internal/baseline"
+	"lagraph/internal/gen"
+)
+
+// TestScaleSweep drives the whole collection at a larger scale than the
+// unit tests use, cross-checking against the baselines. Skipped under
+// -short.
+func TestScaleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep skipped in -short mode")
+	}
+	g := FromEdgeList(
+		gen.RMAT(12, 8, gen.Config{Seed: 99, Undirected: true, NoSelfLoops: true, MinWeight: 1, MaxWeight: 9}),
+		Undirected)
+	bg := baseline.FromMatrix(g.A.Dup())
+
+	t.Run("bfs", func(t *testing.T) {
+		want, _ := baseline.BFSLevels(bg, 0)
+		got, err := BFSLevels(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		levelsMatch(t, got, want, 0)
+	})
+	t.Run("sssp", func(t *testing.T) {
+		want := baseline.Dijkstra(bg, 0)
+		got, err := SSSPDeltaStepping(g, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssspMatch(t, got, want)
+	})
+	t.Run("tc", func(t *testing.T) {
+		want := baseline.TriangleCount(bg)
+		got, err := TriangleCount(g, TCSandiaDot)
+		if err != nil || got != want {
+			t.Fatalf("tc=%d want %d (%v)", got, want, err)
+		}
+	})
+	t.Run("cc", func(t *testing.T) {
+		want := baseline.ConnectedComponents(bg)
+		got, err := ConnectedComponentsFastSV(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		componentsMatch(t, got, want)
+	})
+	t.Run("kcore", func(t *testing.T) {
+		want := baseline.KCoreDecomposition(bg)
+		got, err := KCore(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			gv, err := got.GetElement(v)
+			if err != nil {
+				gv = 0
+			}
+			if int(gv) != want[v] {
+				t.Fatalf("core[%d]=%d want %d", v, gv, want[v])
+			}
+		}
+	})
+	t.Run("mis+coloring", func(t *testing.T) {
+		iset, err := MIS(g, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, why := VerifyMIS(g, iset); !ok {
+			t.Fatal(why)
+		}
+		colour, _, err := Coloring(g, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyColoring(g, colour) {
+			t.Fatal("coloring invalid at scale")
+		}
+	})
+	t.Run("pagerank", func(t *testing.T) {
+		res, err := PageRank(g, 0.85, 1e-8, 100)
+		if err != nil || !res.Converged {
+			t.Fatalf("pr: %v", err)
+		}
+		want := baseline.PageRank(bg, 0.85, 100)
+		for v := 0; v < g.N(); v++ {
+			r, err := res.Rank.GetElement(v)
+			if err != nil {
+				t.Fatalf("rank %d missing", v)
+			}
+			if diff := r - want[v]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("rank[%d] off by %v", v, diff)
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package lagraph
+
+import (
+	"math"
+	"testing"
+
+	"lagraph/internal/baseline"
+	"lagraph/internal/gen"
+)
+
+func TestShortestPathTree(t *testing.T) {
+	e := gen.Grid2D(10, 10, gen.Config{Seed: 19, Undirected: true, MinWeight: 1, MaxWeight: 7})
+	g := FromEdgeList(e, Undirected)
+	dist, err := SSSPDeltaStepping(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents, err := ShortestPathTree(g, 0, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parents.Nvals() != dist.Nvals() {
+		t.Fatalf("parents=%d dist=%d", parents.Nvals(), dist.Nvals())
+	}
+	// Every reached vertex's path must exist and have cost equal to its
+	// distance.
+	for v := 0; v < g.N(); v++ {
+		d, err := dist.GetElement(v)
+		if err != nil {
+			continue
+		}
+		path, ok := PathTo(parents, v)
+		if !ok {
+			t.Fatalf("no path to %d", v)
+		}
+		if path[0] != 0 || path[len(path)-1] != v {
+			t.Fatalf("path endpoints for %d: %v", v, path)
+		}
+		cost := 0.0
+		for k := 0; k+1 < len(path); k++ {
+			w, err := g.A.GetElement(path[k], path[k+1])
+			if err != nil {
+				t.Fatalf("path edge %d→%d missing", path[k], path[k+1])
+			}
+			cost += w
+		}
+		if math.Abs(cost-d) > 1e-9 {
+			t.Fatalf("path cost %v, distance %v", cost, d)
+		}
+	}
+	// Unreached vertex of a disconnected graph has no path.
+	e2 := gen.Ring(4, gen.Config{Undirected: true})
+	e2.N = 6
+	g2 := FromEdgeList(e2, Undirected)
+	d2, err := SSSPBellmanFord(g2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ShortestPathTree(g2, 0, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := PathTo(p2, 5); ok {
+		t.Fatal("vertex 5 is disconnected")
+	}
+}
+
+func TestBetweennessDirected(t *testing.T) {
+	// Batched BC must also agree with the baseline on a directed graph.
+	e := gen.ErdosRenyi(50, 350, gen.Config{Seed: 20, NoSelfLoops: true})
+	g := FromEdgeList(e, Directed)
+	bg := baseline.FromMatrix(g.A.Dup())
+	sources := []int{0, 9, 25, 33}
+	want := baseline.BetweennessCentralitySources(bg, sources)
+	got, err := BetweennessCentrality(g, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		gv, err := got.GetElement(v)
+		if err != nil {
+			gv = 0
+		}
+		if math.Abs(gv-want[v]) > 1e-6 {
+			t.Fatalf("bc[%d]=%v want %v", v, gv, want[v])
+		}
+	}
+}

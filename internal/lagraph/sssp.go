@@ -1,0 +1,177 @@
+package lagraph
+
+import (
+	"math"
+
+	"lagraph/internal/grb"
+)
+
+// Single-source shortest paths (§V): a Bellman-Ford formulation over the
+// (min,+) semiring, and the delta-stepping formulation of Sridhar et
+// al. [32] used by LAGraph.
+
+// SSSPBellmanFord iterates d ← d min.+ (dᵀA) until the distance vector
+// reaches a fixed point. Edge weights must be non-negative (no negative
+// cycle detection). Unreached vertices hold no entry.
+func SSSPBellmanFord(g *Graph, src int) (*grb.Vector[float64], error) {
+	if err := g.checkSource(src); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	d := grb.MustVector[float64](n)
+	_ = d.SetElement(src, 0)
+	minPlus := grb.MinPlus[float64]()
+	for iter := 0; iter < n; iter++ {
+		prevN := d.Nvals()
+		prevSum, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), d)
+		if err != nil {
+			return nil, err
+		}
+		// d ← d min (d min.+ A)
+		if err := grb.VxM(d, (*grb.Vector[bool])(nil), grb.MinOp[float64](), minPlus, d, g.A, nil); err != nil {
+			return nil, err
+		}
+		curSum, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), d)
+		if err != nil {
+			return nil, err
+		}
+		if d.Nvals() == prevN && curSum == prevSum {
+			return d, nil
+		}
+	}
+	return d, nil
+}
+
+// SSSPDeltaStepping implements delta-stepping in GraphBLAS form: vertices
+// are processed in distance buckets of width delta; light edges (< delta)
+// are relaxed repeatedly inside the bucket, heavy edges once per bucket.
+// Weights must be non-negative.
+func SSSPDeltaStepping(g *Graph, src int, delta float64) (*grb.Vector[float64], error) {
+	if err := g.checkSource(src); err != nil {
+		return nil, err
+	}
+	if delta <= 0 {
+		return nil, ErrBadArgument
+	}
+	n := g.N()
+
+	// Split the adjacency into light and heavy edge matrices.
+	light := grb.MustMatrix[float64](n, n)
+	heavy := grb.MustMatrix[float64](n, n)
+	if err := grb.SelectMatrix[float64, bool](light, nil, nil, grb.ValueLT(delta), g.A, nil); err != nil {
+		return nil, err
+	}
+	if err := grb.SelectMatrix[float64, bool](heavy, nil, nil, grb.ValueGE(delta), g.A, nil); err != nil {
+		return nil, err
+	}
+
+	t := grb.MustVector[float64](n) // tentative distances
+	_ = t.SetElement(src, 0)
+	minPlus := grb.MinPlus[float64]()
+
+	for step := 0; ; step++ {
+		lo := float64(step) * delta
+		hi := lo + delta
+		// tBucket: tentative distances inside the current bucket.
+		inBucket := func(x float64, _, _ int) bool { return x >= lo && x < hi }
+		tReq := grb.MustVector[float64](n)
+		if err := grb.SelectVector[float64, bool](tReq, nil, nil, inBucket, t, nil); err != nil {
+			return nil, err
+		}
+		if tReq.Nvals() == 0 {
+			// Any vertex left beyond this bucket?
+			remaining := grb.MustVector[float64](n)
+			if err := grb.SelectVector[float64, bool](remaining, nil, nil, grb.ValueGE(hi), t, nil); err != nil {
+				return nil, err
+			}
+			if remaining.Nvals() == 0 {
+				return t, nil
+			}
+			continue
+		}
+		// Relax light edges to a fixed point within the bucket.
+		for inner := 0; inner < n; inner++ {
+			// tNew = tReq min.+ light, folded into t.
+			before := snapshotSum(t)
+			if err := grb.VxM(t, (*grb.Vector[bool])(nil), grb.MinOp[float64](), minPlus, tReq, light, nil); err != nil {
+				return nil, err
+			}
+			// Next inner frontier: bucket members whose distance changed
+			// into this bucket.
+			if err := grb.SelectVector[float64, bool](tReq, nil, nil, inBucket, t, grb.DescR); err != nil {
+				return nil, err
+			}
+			if snapshotSum(t) == before {
+				break
+			}
+		}
+		// Settle the bucket: relax heavy edges once from all bucket
+		// members.
+		if err := grb.SelectVector[float64, bool](tReq, nil, nil, inBucket, t, grb.DescR); err != nil {
+			return nil, err
+		}
+		if tReq.Nvals() > 0 {
+			if err := grb.VxM(t, (*grb.Vector[bool])(nil), grb.MinOp[float64](), minPlus, tReq, heavy, nil); err != nil {
+				return nil, err
+			}
+		}
+		// Termination: every remaining tentative distance below hi is
+		// settled; stop when nothing at or beyond hi remains.
+		remaining := grb.MustVector[float64](n)
+		if err := grb.SelectVector[float64, bool](remaining, nil, nil, grb.ValueGE(hi), t, nil); err != nil {
+			return nil, err
+		}
+		if remaining.Nvals() == 0 {
+			return t, nil
+		}
+	}
+}
+
+// snapshotSum is a cheap fixed-point detector: the (finite) distance sum
+// is strictly decreasing under relaxation.
+func snapshotSum(v *grb.Vector[float64]) float64 {
+	s, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), v)
+	if err != nil {
+		return math.NaN()
+	}
+	return s*1e6 + float64(v.Nvals())
+}
+
+// APSP computes all-pairs shortest paths by (min,+) repeated squaring:
+// D ← D min.+ D until a fixed point, starting from the adjacency with a
+// zero diagonal. O(n³ log n) worst case — intended for modest n, as in
+// the Solomonik-Buluç-Demmel formulation the paper cites [33].
+func APSP(g *Graph) (*grb.Matrix[float64], error) {
+	n := g.N()
+	d := g.A.Dup()
+	// Zero diagonal: d(i,i) = 0.
+	for i := 0; i < n; i++ {
+		if err := d.SetElement(i, i, 0); err != nil {
+			return nil, err
+		}
+	}
+	minPlus := grb.MinPlus[float64]()
+	maxIter := 1
+	for m := 1; m < n; m *= 2 {
+		maxIter++
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		prev := d.Nvals()
+		sum, err := grb.ReduceMatrixToScalar(grb.PlusMonoid[float64](), d)
+		if err != nil {
+			return nil, err
+		}
+		// d ← d min (d min.+ d)
+		if err := grb.MxM(d, (*grb.Matrix[bool])(nil), grb.MinOp[float64](), minPlus, d, d, nil); err != nil {
+			return nil, err
+		}
+		sum2, err := grb.ReduceMatrixToScalar(grb.PlusMonoid[float64](), d)
+		if err != nil {
+			return nil, err
+		}
+		if d.Nvals() == prev && sum == sum2 {
+			break
+		}
+	}
+	return d, nil
+}

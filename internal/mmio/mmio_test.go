@@ -1,0 +1,163 @@
+package mmio
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lagraph/internal/gen"
+)
+
+func TestReadGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+2 3 -1
+3 4 7
+`
+	a, h, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NRows != 3 || h.NCols != 4 || h.NNZ != 3 {
+		t.Fatalf("header %+v", h)
+	}
+	if v, _ := a.GetElement(0, 0); v != 2.5 {
+		t.Fatalf("a(0,0)=%v", v)
+	}
+	if v, _ := a.GetElement(1, 2); v != -1 {
+		t.Fatalf("a(1,2)=%v", v)
+	}
+	if a.Nvals() != 3 {
+		t.Fatalf("nvals=%d", a.Nvals())
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate integer symmetric
+3 3 2
+2 1 5
+3 3 9
+`
+	a, _, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.GetElement(0, 1); v != 5 {
+		t.Fatal("symmetric expansion missing")
+	}
+	if v, _ := a.GetElement(1, 0); v != 5 {
+		t.Fatal("stored entry missing")
+	}
+	// Diagonal entries are not duplicated.
+	if a.Nvals() != 3 {
+		t.Fatalf("nvals=%d want 3", a.Nvals())
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 4
+`
+	a, _, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.GetElement(0, 1); v != -4 {
+		t.Fatalf("skew mirror: %v", v)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	a, h, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Field != Pattern {
+		t.Fatal("field")
+	}
+	if v, _ := a.GetElement(0, 1); v != 1 {
+		t.Fatalf("pattern value %v", v)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad banner":     "%%NotMM matrix coordinate real general\n1 1 0\n",
+		"array format":   "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"complex":        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\n1 x 1\n1 1 1\n",
+		"oob index":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"missing fields": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"truncated":      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zzz\n",
+	}
+	for name, src := range cases {
+		if _, _, err := ReadMatrix(strings.NewReader(src)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: want ErrFormat, got %v", name, err)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e := gen.RMAT(8, 4, gen.Config{Seed: 3, MinWeight: 1, MaxWeight: 9})
+	a := e.Matrix()
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, aj, ax := a.ExtractTuples()
+	bi, bj, bx := b.ExtractTuples()
+	if len(ai) != len(bi) {
+		t.Fatalf("nvals %d vs %d", len(ai), len(bi))
+	}
+	for k := range ai {
+		if ai[k] != bi[k] || aj[k] != bj[k] || ax[k] != bx[k] {
+			t.Fatalf("entry %d mismatch", k)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.mtx")
+	a := gen.Grid2D(5, 5, gen.Config{Seed: 1}).Matrix()
+	if err := WriteMatrixFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ReadMatrixFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Nvals() != a.Nvals() {
+		t.Fatalf("nvals %d vs %d", b.Nvals(), a.Nvals())
+	}
+}
+
+func TestWritePattern(t *testing.T) {
+	a := gen.Ring(4, gen.Config{}).Matrix()
+	var buf bytes.Buffer
+	if err := WritePattern(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, h, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Field != Pattern || b.Nvals() != 4 {
+		t.Fatalf("pattern roundtrip: %+v nvals=%d", h, b.Nvals())
+	}
+}
