@@ -7,8 +7,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -20,9 +22,10 @@ import (
 )
 
 var (
-	scale = flag.Int("scale", 13, "RMAT scale (2^scale vertices)")
-	ef    = flag.Int("ef", 16, "RMAT edge factor")
-	table = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,all")
+	scale   = flag.Int("scale", 13, "RMAT scale (2^scale vertices)")
+	ef      = flag.Int("ef", 16, "RMAT edge factor")
+	table   = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,perf,all")
+	jsonOut = flag.String("json", "", "write the perf table as machine-readable JSON to this file (e.g. BENCH_1.json)")
 )
 
 func main() {
@@ -47,6 +50,140 @@ func main() {
 	run("c7", c7)
 	run("c8", c8)
 	run("census", census)
+	// perf is opt-in (it re-times every skewed kernel at two parallelism
+	// levels): run it when asked for by name or when a JSON sink is given.
+	if *table == "perf" || *jsonOut != "" {
+		perf()
+		fmt.Println()
+	}
+}
+
+// perfEntry is one timed kernel at one parallelism level. The JSON files
+// (BENCH_<pr>.json) accumulate in the repository so the perf trajectory is
+// diffable across PRs.
+type perfEntry struct {
+	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	SpeedupVsP1 float64 `json:"speedup_vs_p1,omitempty"`
+}
+
+type perfReport struct {
+	Schema     string      `json:"schema"`
+	Timestamp  string      `json:"timestamp"`
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Scale      int         `json:"scale"`
+	EdgeFactor int         `json:"edge_factor"`
+	Results    []perfEntry `json:"results"`
+}
+
+// perf times the skewed-degree kernel suite (the same workloads as the
+// BenchmarkSkewed* micro-benchmarks) at SetParallelism(1) and at the
+// machine's parallelism, printing a table and optionally writing JSON.
+func perf() {
+	fmt.Println("── perf: work-aware scheduling on skewed-degree kernels ──")
+	n := 1 << *scale
+	el := gen.PowerLaw(n, *ef*n, 1.6, gen.Config{Seed: 41, NoSelfLoops: true})
+	a := el.Matrix()
+	a.Wait()
+	front := grb.MustVector[float64](n)
+	for i := 0; i < n; i += 16 {
+		_ = front.SetElement(i, 1)
+	}
+	for i := 0; i < 64; i++ {
+		_ = front.SetElement(i, 1)
+	}
+	front.Wait()
+	ka := gen.PowerLaw(256, 4096, 1.6, gen.Config{Seed: 42}).Matrix()
+	kb := gen.PowerLaw(64, 1024, 1.6, gen.Config{Seed: 43}).Matrix()
+	ka.Wait()
+	kb.Wait()
+
+	kernels := []struct {
+		name string
+		f    func()
+	}{
+		{"mxm_gustavson", func() {
+			c := grb.MustMatrix[float64](n, n)
+			_ = grb.MxM(c, (*grb.Matrix[bool])(nil), nil, grb.PlusTimes[float64](), a, a,
+				&grb.Descriptor{Method: grb.MxMGustavson})
+		}},
+		{"mxm_dot_masked", func() {
+			c := grb.MustMatrix[float64](n, n)
+			_ = grb.MxM(c, a, nil, grb.PlusTimes[float64](), a, a,
+				&grb.Descriptor{Method: grb.MxMDot, TranB: true})
+		}},
+		{"mxm_heap", func() {
+			c := grb.MustMatrix[float64](n, n)
+			_ = grb.MxM(c, (*grb.Matrix[bool])(nil), nil, grb.PlusTimes[float64](), a, a,
+				&grb.Descriptor{Method: grb.MxMHeap})
+		}},
+		{"vxm_push", func() {
+			w := grb.MustVector[float64](n)
+			_ = grb.VxM(w, (*grb.Vector[bool])(nil), nil, grb.PlusTimes[float64](), front, a,
+				&grb.Descriptor{Dir: grb.DirPush})
+		}},
+		{"vxm_pull", func() {
+			w := grb.MustVector[float64](n)
+			_ = grb.VxM(w, (*grb.Vector[bool])(nil), nil, grb.PlusTimes[float64](), front, a,
+				&grb.Descriptor{Dir: grb.DirPull})
+		}},
+		{"transpose", func() {
+			c := grb.MustMatrix[float64](n, n)
+			_ = grb.Transpose[float64, bool](c, nil, nil, a, nil)
+		}},
+		{"build", func() {
+			c := grb.MustMatrix[float64](n, n)
+			_ = c.Build(el.Src, el.Dst, el.W, grb.First[float64, float64]())
+		}},
+		{"kronecker", func() {
+			c := grb.MustMatrix[float64](256*64, 256*64)
+			_ = grb.Kronecker[float64, float64, float64, bool](c, nil, nil, grb.Times[float64](), ka, kb, nil)
+		}},
+	}
+
+	pmax := runtime.GOMAXPROCS(0)
+	if pmax < 4 {
+		pmax = 4
+	}
+	report := perfReport{
+		Schema:     "lagraph-perf/1",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		EdgeFactor: *ef,
+	}
+	fmt.Printf("%-18s %14s %14s %9s   (power-law n=2^%d, α=1.6, %d CPU)\n",
+		"kernel", "p=1", fmt.Sprintf("p=%d", pmax), "speedup", *scale, runtime.NumCPU())
+	for _, k := range kernels {
+		old := grb.SetParallelism(1)
+		d1 := timeIt(3, k.f)
+		grb.SetParallelism(pmax)
+		dp := timeIt(3, k.f)
+		grb.SetParallelism(old)
+		speedup := float64(d1) / float64(dp)
+		report.Results = append(report.Results,
+			perfEntry{Name: k.name, Parallelism: 1, NsPerOp: d1.Nanoseconds()},
+			perfEntry{Name: k.name, Parallelism: pmax, NsPerOp: dp.Nanoseconds(), SpeedupVsP1: speedup})
+		fmt.Printf("%-18s %14v %14v %8.2fx\n", k.name, d1, dp, speedup)
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perf json:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perf json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 }
 
 // timeIt runs f a few times and returns the best wall time.

@@ -116,6 +116,24 @@ func RMATProb(scale, edgeFactor int, a, b, c float64, cfg Config) *EdgeList {
 	return e
 }
 
+// PowerLaw generates m edges whose sources follow a Zipf power-law degree
+// distribution with exponent alpha > 1 (a handful of hubs emit most of
+// the edges) and whose destinations are uniform. This is the adversarial
+// input for equal-count row partitioning — nearly all flops concentrate
+// in a few rows — and the workload of the BenchmarkSkewed* suite.
+func PowerLaw(n, m int, alpha float64, cfg Config) *EdgeList {
+	rng := cfg.rng()
+	if alpha <= 1 {
+		alpha = 1.5
+	}
+	z := rand.NewZipf(rng, alpha, 1, uint64(n-1))
+	e := &EdgeList{N: n, HasDups: true}
+	for k := 0; k < m; k++ {
+		e.add(rng, cfg, int(z.Uint64()), rng.Intn(n), cfg.weight(rng))
+	}
+	return e
+}
+
 // ErdosRenyi generates a G(n, m) uniform random multigraph with m edge
 // draws.
 func ErdosRenyi(n, m int, cfg Config) *EdgeList {

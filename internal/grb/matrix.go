@@ -323,14 +323,7 @@ func (a *Matrix[T]) Wait() {
 	}
 
 	// Sort pending tuples by (i,j), stable so that later updates win.
-	if len(pend) > 1 {
-		sort.SliceStable(pend, func(u, v int) bool {
-			if pend[u].i != pend[v].i {
-				return pend[u].i < pend[v].i
-			}
-			return pend[u].j < pend[v].j
-		})
-	}
+	pend = sortPendingTuples(pend)
 	// Combine duplicate pending tuples.
 	if len(pend) > 1 {
 		w := 0
@@ -530,21 +523,63 @@ func (a *Matrix[T]) Build(is, js []int, xs []T, dup BinaryOp[T, T, T]) error {
 	return nil
 }
 
+// sortPendingTuples orders pend by (i, j) with original order preserved on
+// ties (later updates win when duplicates combine left-to-right). Large
+// batches are chunk-sorted concurrently and k-way merged; the index
+// tiebreak makes the order total, so the result is identical at any
+// parallelism.
+func sortPendingTuples[T any](pend []tuple[T]) []tuple[T] {
+	if len(pend) <= 1 {
+		return pend
+	}
+	if len(pend) < parallelSortThreshold || workers() <= 1 {
+		sort.SliceStable(pend, func(u, v int) bool {
+			if pend[u].i != pend[v].i {
+				return pend[u].i < pend[v].i
+			}
+			return pend[u].j < pend[v].j
+		})
+		return pend
+	}
+	perm := make([]int, len(pend))
+	for k := range perm {
+		perm[k] = k
+	}
+	parallelSortPerm(perm, func(a, b int) bool {
+		if pend[a].i != pend[b].i {
+			return pend[a].i < pend[b].i
+		}
+		if pend[a].j != pend[b].j {
+			return pend[a].j < pend[b].j
+		}
+		return a < b
+	})
+	sorted := make([]tuple[T], len(pend))
+	for k, idx := range perm {
+		sorted[k] = pend[idx]
+	}
+	return sorted
+}
+
 // assembleCS sorts tuples by (major, minor), combines duplicates, and
 // compresses them into hypersparse form (standard form is derived later by
-// maybeConvertFormat if appropriate).
+// maybeConvertFormat if appropriate). The tuple sort — the dominant cost
+// of batch build — runs as a parallel chunk sort plus multiway merge,
+// keeping §II-A's "as fast as batch build" property at scale.
 func assembleCS[T any](nmajor, nminor int, is, js []int, xs []T, dup BinaryOp[T, T, T]) (*cs[T], error) {
 	n := len(is)
 	perm := make([]int, n)
 	for k := range perm {
 		perm[k] = k
 	}
-	sort.SliceStable(perm, func(u, v int) bool {
-		a, b := perm[u], perm[v]
+	parallelSortPerm(perm, func(a, b int) bool {
 		if is[a] != is[b] {
 			return is[a] < is[b]
 		}
-		return js[a] < js[b]
+		if js[a] != js[b] {
+			return js[a] < js[b]
+		}
+		return a < b
 	})
 
 	pi := make([]int, 0, n)

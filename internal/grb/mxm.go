@@ -85,11 +85,33 @@ func chooseMxM[A any](ca *cs[A], mm *maskMat, outRows, outCols int) MxMMethod {
 	return MxMGustavson
 }
 
-// mxmGustavson computes Z = A·B row-wise with a dense accumulator.
+// mxmWorkQuantum is the minimum estimated flop count before the saxpy and
+// heap kernels spin up worker goroutines.
+const mxmWorkQuantum = 1 << 12
+
+// saxpyFlops estimates the work of A's stored row k under Gustavson or the
+// heap method: the summed degrees of the B rows it selects. On power-law
+// graphs this varies by orders of magnitude across rows, which is why the
+// kernels partition by it rather than by row count.
+func saxpyFlops[A, B any](ca *cs[A], cb *cs[B], k int) int {
+	ai, _ := ca.vec(k)
+	f := 1
+	for _, j := range ai {
+		if bk, ok := cb.findMajor(j); ok {
+			f += cb.p[bk+1] - cb.p[bk]
+		}
+	}
+	return f
+}
+
+// mxmGustavson computes Z = A·B row-wise with a dense accumulator, rows
+// partitioned at equal-flop boundaries and dynamically scheduled so hub
+// rows don't serialize the kernel.
 func mxmGustavson[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
 	nvec := ca.nvecs()
 	staging := newRowSlices[T](nvec)
-	parallelRanges(nvec, 8, func(lo, hi int) {
+	flops := func(k int) int { return saxpyFlops(ca, cb, k) }
+	parallelWork(nvec, mxmWorkQuantum, flops, func(lo, hi int) {
 		val := make([]T, nc)
 		seen := make([]bool, nc)
 		var touched []int
@@ -163,7 +185,21 @@ func mxmDot[A, B, T any](ca *cs[A], cbT *cs[B], s Semiring[A, B, T], mm *maskMat
 	nvec := ca.nvecs()
 	staging := newRowSlices[T](nvec)
 	useMaskPattern := mm != nil && !mm.comp
-	parallelRanges(nvec, 8, func(lo, hi int) {
+	// Per-row work ≈ admitted outputs × merge length; the mask row size is
+	// the dominant skew on masked products (triangle counting).
+	flops := func(k int) int {
+		ai, _ := ca.vec(k)
+		if len(ai) == 0 {
+			return 1
+		}
+		outs := nc
+		if useMaskPattern {
+			mi, _ := mm.row(ca.majorOf(k))
+			outs = len(mi)
+		}
+		return 1 + outs*(len(ai)+1)
+	}
+	parallelWork(nvec, mxmWorkQuantum, flops, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			ai, ax := ca.vec(k)
 			if len(ai) == 0 {
@@ -254,7 +290,8 @@ type heapEntry[B any] struct {
 func mxmHeap[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
 	nvec := ca.nvecs()
 	staging := newRowSlices[T](nvec)
-	parallelRanges(nvec, 8, func(lo, hi int) {
+	flops := func(k int) int { return saxpyFlops(ca, cb, k) }
+	parallelWork(nvec, mxmWorkQuantum, flops, func(lo, hi int) {
 		var heap []heapEntry[B]
 		for k := lo; k < hi; k++ {
 			ai, ax := ca.vec(k)
@@ -351,27 +388,58 @@ func Kronecker[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, 
 	if c.nr != nr || c.nc != nc {
 		return ErrDimensionMismatch
 	}
-	is := make([]int, 0, ca.nvals()*cb.nvals())
-	js := make([]int, 0, ca.nvals()*cb.nvals())
-	xs := make([]T, 0, ca.nvals()*cb.nvals())
-	for ka := 0; ka < ca.nvecs(); ka++ {
-		ia := ca.majorOf(ka)
-		aci, acx := ca.vec(ka)
-		for ta := range aci {
-			for kb := 0; kb < cb.nvecs(); kb++ {
-				ib := cb.majorOf(kb)
-				bci, bcx := cb.vec(kb)
-				for tb := range bci {
-					is = append(is, ia*nbr+ib)
-					js = append(js, aci[ta]*nbc+bci[tb])
-					xs = append(xs, mul(acx[ta], bcx[tb]))
+	return writeMatrixResult(c, mask, accum, kroneckerCS(ca, cb, mul, nr, nc), d)
+}
+
+// kroneckerCS emits A ⊗ B directly in compressed form: output row
+// ia·nbr+ib is, walking A's row ia in column order, B's row ib shifted by
+// ja·nbc — each segment sorted and the segments disjoint and ascending, so
+// the row needs no staging, sorting or duplicate pass (the old path
+// materialized three O(nvals(A)·nvals(B)) COO slices and re-sorted them
+// through assembleCS). Output rows are filled concurrently at exact
+// offsets known from a prefix sum over the per-row sizes.
+func kroneckerCS[A, B, T any](ca *cs[A], cb *cs[B], mul BinaryOp[A, B, T], nr, nc int) *cs[T] {
+	nva, nvb := ca.nvecs(), cb.nvecs()
+	nbr, nbc := cb.nmajor, cb.nminor
+	nrows := nva * nvb
+	p := make([]int, nrows+1)
+	h := make([]int, nrows)
+	for ka := 0; ka < nva; ka++ {
+		la := ca.p[ka+1] - ca.p[ka]
+		base := ca.majorOf(ka) * nbr
+		for kb := 0; kb < nvb; kb++ {
+			r := ka*nvb + kb
+			p[r+1] = p[r] + la*(cb.p[kb+1]-cb.p[kb])
+			h[r] = base + cb.majorOf(kb)
+		}
+	}
+	zi := make([]int, p[nrows])
+	zx := make([]T, p[nrows])
+	parallelWork(nrows, mxmWorkQuantum, func(r int) int { return p[r+1] - p[r] + 1 }, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ai, ax := ca.vec(r / nvb)
+			bi, bx := cb.vec(r % nvb)
+			w := p[r]
+			for ta := range ai {
+				col := ai[ta] * nbc
+				av := ax[ta]
+				for tb := range bi {
+					zi[w] = col + bi[tb]
+					zx[w] = mul(av, bx[tb])
+					w++
 				}
 			}
 		}
+	})
+	// Compress away stored-but-empty rows (empty input rows in standard
+	// format produce them) to keep the hypersparse invariant.
+	cp := make([]int, 1, nrows+1)
+	ch := make([]int, 0, nrows)
+	for r := 0; r < nrows; r++ {
+		if p[r+1] > p[r] {
+			cp = append(cp, p[r+1])
+			ch = append(ch, h[r])
+		}
 	}
-	z, err := assembleCS(nr, nc, is, js, xs, nil)
-	if err != nil {
-		return err
-	}
-	return writeMatrixResult(c, mask, accum, z, d)
+	return &cs[T]{nmajor: nr, nminor: nc, p: cp, h: ch, i: zi, x: zx}
 }

@@ -1,6 +1,10 @@
 package grb
 
-import "sort"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // MxV / VxM with the push–pull direction optimization of §II-E
 // (GraphBLAST): the push form is a sparse-matrix sparse-vector product
@@ -83,17 +87,110 @@ func chooseDirection[U, A any](u *Vector[U], a *Matrix[A], d descValues, mv *mas
 	return DirPush
 }
 
+// Push-kernel chunking: the frontier is cut at equal-flop boundaries once
+// the estimated work passes pushWorkQuantum, into at most pushMaxChunks
+// pieces. The chunk boundaries depend only on the input — never on the
+// worker count — and chunk partials are always merged in chunk order, so
+// the result is bitwise identical at any parallelism level (association of
+// a non-commutative-rounding Add is fixed by the chunking, not by the
+// scheduler).
+const (
+	pushWorkQuantum = 1 << 13
+	pushMaxChunks   = 64
+)
+
+// sparsePart is one chunk's partial result: indices sorted ascending.
+type sparsePart[T any] struct {
+	i []int
+	x []T
+}
+
 // vxmPush computes z = uᵀ·A by scattering each selected row of A
 // (Gustavson over a single "row": SpMSpV). Memory: a dense accumulator
 // when the output dimension is modest, a hash accumulator in the
-// hypersparse regime.
+// hypersparse regime. Large frontiers are split into flop-balanced chunks
+// scattered concurrently (each worker reusing one accumulator) and merged
+// with a k-way pass.
 func vxmPush[A, U, T any](u *Vector[U], ca *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int) ([]int, []T) {
 	ui, ux := u.materialized()
-	if outDim >= hyperThresholdDim*hyperRatio {
-		return vxmPushHash(ui, ux, ca, s, mv)
+	useHash := outDim >= hyperThresholdDim*hyperRatio
+	deg := func(t int) int {
+		rk, ok := ca.findMajor(ui[t])
+		if !ok {
+			return 1
+		}
+		return ca.p[rk+1] - ca.p[rk] + 1
 	}
-	val := make([]T, outDim)
-	seen := make([]bool, outDim)
+	bounds := workChunks(len(ui), deg, pushWorkQuantum, pushMaxChunks)
+	nchunks := len(bounds) - 1
+
+	parts := make([]sparsePart[T], nchunks)
+	if nchunks <= 1 {
+		if useHash {
+			parts[0].i, parts[0].x = scatterRowsHash(ui, ux, ca, s)
+		} else {
+			val := make([]T, outDim)
+			seen := make([]bool, outDim)
+			parts[0].i, parts[0].x = scatterRowsDense(ui, ux, ca, s, val, seen)
+		}
+	} else {
+		w := workers()
+		if w > nchunks {
+			w = nchunks
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				var val []T
+				var seen []bool
+				if !useHash {
+					val = make([]T, outDim)
+					seen = make([]bool, outDim)
+				}
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= nchunks {
+						return
+					}
+					lo, hi := bounds[c], bounds[c+1]
+					if useHash {
+						parts[c].i, parts[c].x = scatterRowsHash(ui[lo:hi], ux[lo:hi], ca, s)
+					} else {
+						parts[c].i, parts[c].x = scatterRowsDense(ui[lo:hi], ux[lo:hi], ca, s, val, seen)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	zi, zx := parts[0].i, parts[0].x
+	if nchunks > 1 {
+		zi, zx = mergeAddParts(parts, s.Add)
+	}
+	if mv == nil {
+		return zi, zx
+	}
+	oi := zi[:0]
+	ox := zx[:0]
+	allowed := mv.cursor()
+	for t, j := range zi {
+		if allowed(j) {
+			oi = append(oi, j)
+			ox = append(ox, zx[t])
+		}
+	}
+	return oi, ox
+}
+
+// scatterRowsDense accumulates the selected rows of one frontier chunk
+// into the caller-owned dense accumulator (reused across chunks by each
+// worker) and extracts the touched entries sorted, clearing the
+// accumulator behind itself.
+func scatterRowsDense[A, U, T any](ui []int, ux []U, ca *cs[A], s Semiring[U, A, T], val []T, seen []bool) ([]int, []T) {
 	var touched []int
 	for t, k := range ui {
 		rk, ok := ca.findMajor(k)
@@ -117,21 +214,17 @@ func vxmPush[A, U, T any](u *Vector[U], ca *cs[A], s Semiring[U, A, T], mv *mask
 		}
 	}
 	sort.Ints(touched)
-	zi := make([]int, 0, len(touched))
-	zx := make([]T, 0, len(touched))
-	allowed := mv.cursor()
-	for _, j := range touched {
-		if allowed(j) {
-			zi = append(zi, j)
-			zx = append(zx, val[j])
-		}
+	zx := make([]T, len(touched))
+	for t, j := range touched {
+		zx[t] = val[j]
+		seen[j] = false
 	}
-	return zi, zx
+	return touched, zx
 }
 
-// vxmPushHash is the O(flops)-memory push used when the output dimension
-// is enormous (hypersparse regime).
-func vxmPushHash[A, U, T any](ui []int, ux []U, ca *cs[A], s Semiring[U, A, T], mv *maskVec) ([]int, []T) {
+// scatterRowsHash is the O(chunk flops)-memory scatter used when the
+// output dimension is enormous (hypersparse regime).
+func scatterRowsHash[A, U, T any](ui []int, ux []U, ca *cs[A], s Semiring[U, A, T]) ([]int, []T) {
 	acc := make(map[int]T)
 	for t, k := range ui {
 		rk, ok := ca.findMajor(k)
@@ -152,26 +245,69 @@ func vxmPushHash[A, U, T any](ui []int, ux []U, ca *cs[A], s Semiring[U, A, T], 
 			}
 		}
 	}
-	touched := make([]int, 0, len(acc))
+	zi := make([]int, 0, len(acc))
 	for j := range acc {
-		touched = append(touched, j)
+		zi = append(zi, j)
 	}
-	sort.Ints(touched)
-	zi := make([]int, 0, len(touched))
-	zx := make([]T, 0, len(touched))
-	allowed := mv.cursor()
-	for _, j := range touched {
-		if allowed(j) {
-			zi = append(zi, j)
-			zx = append(zx, acc[j])
-		}
+	sort.Ints(zi)
+	zx := make([]T, len(zi))
+	for t, j := range zi {
+		zx[t] = acc[j]
 	}
 	return zi, zx
 }
 
+// mergeAddParts k-way merges sorted chunk partials, combining entries that
+// appear in several chunks with the additive monoid, strictly in chunk
+// order (chunk 0's contribution first): the fixed association that makes
+// chunked push deterministic.
+func mergeAddParts[T any](parts []sparsePart[T], add Monoid[T]) ([]int, []T) {
+	heads := make([]int, len(parts))
+	total := 0
+	for _, p := range parts {
+		total += len(p.i)
+	}
+	zi := make([]int, 0, total)
+	zx := make([]T, 0, total)
+	for {
+		best := -1
+		for c := range parts {
+			if heads[c] == len(parts[c].i) {
+				continue
+			}
+			if best < 0 || parts[c].i[heads[c]] < parts[best].i[heads[best]] {
+				best = c
+			}
+		}
+		if best < 0 {
+			return zi, zx
+		}
+		j := parts[best].i[heads[best]]
+		acc := parts[best].x[heads[best]]
+		heads[best]++
+		for c := best + 1; c < len(parts); c++ {
+			if heads[c] < len(parts[c].i) && parts[c].i[heads[c]] == j {
+				if add.Terminal == nil || !add.Terminal(acc) {
+					acc = add.Op(acc, parts[c].x[heads[c]])
+				}
+				heads[c]++
+			}
+		}
+		zi = append(zi, j)
+		zx = append(zx, acc)
+	}
+}
+
+// pullWorkQuantum is the minimum estimated flop count before the pull
+// kernel spins up worker goroutines.
+const pullWorkQuantum = 1 << 12
+
 // vxmPull computes z(j) = u·A(:,j) for each admitted output j, with early
 // exit on terminal monoids. caT is the column-major view of the effective
-// matrix, so caT's major vectors are the columns of A.
+// matrix, so caT's major vectors are the columns of A. Outputs are staged
+// per column and compacted in order, so results are independent of the
+// partitioning; columns are partitioned at equal-degree boundaries (hub
+// columns of a power-law graph otherwise serialize the sweep).
 func vxmPull[A, U, T any](u *Vector[U], caT *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int) ([]int, []T) {
 	ud, uok := u.dense()
 
@@ -188,10 +324,6 @@ func vxmPull[A, U, T any](u *Vector[U], caT *cs[A], s Semiring[U, A, T], mv *mas
 		}
 	}
 
-	type part struct {
-		i []int
-		x []T
-	}
 	dotCol := func(j int) (T, bool) {
 		var zero T
 		ck, ok := caT.findMajor(j)
@@ -219,57 +351,44 @@ func vxmPull[A, U, T any](u *Vector[U], caT *cs[A], s Semiring[U, A, T], mv *mas
 		}
 		return acc, found
 	}
+	colDeg := func(j int) int {
+		ck, ok := caT.findMajor(j)
+		if !ok {
+			return 1
+		}
+		return caT.p[ck+1] - caT.p[ck] + 1
+	}
 
+	var n int
+	var colOf func(t int) int
+	var weight func(t int) int
 	if targets != nil {
-		n := len(targets)
-		nblocks := workers()
-		if nblocks > n {
-			nblocks = 1
-		}
-		parts := make([]part, nblocks)
-		parallelRanges(nblocks, 1, func(blo, bhi int) {
-			for b := blo; b < bhi; b++ {
-				for t := b * n / nblocks; t < (b+1)*n/nblocks; t++ {
-					j := targets[t]
-					if v, ok := dotCol(j); ok {
-						parts[b].i = append(parts[b].i, j)
-						parts[b].x = append(parts[b].x, v)
-					}
-				}
-			}
-		})
-		var zi []int
-		var zx []T
-		for _, p := range parts {
-			zi = append(zi, p.i...)
-			zx = append(zx, p.x...)
-		}
-		return zi, zx
+		n = len(targets)
+		colOf = func(t int) int { return targets[t] }
+		weight = func(t int) int { return colDeg(targets[t]) }
+	} else {
+		// No mask: sweep all stored columns.
+		n = caT.nvecs()
+		colOf = func(t int) int { return caT.majorOf(t) }
+		weight = func(t int) int { return caT.p[t+1] - caT.p[t] + 1 }
 	}
-
-	// No mask: sweep all stored columns.
-	nvec := caT.nvecs()
-	nblocks := workers()
-	if nblocks > nvec {
-		nblocks = 1
-	}
-	parts := make([]part, nblocks)
-	parallelRanges(nblocks, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			for k := b * nvec / nblocks; k < (b+1)*nvec/nblocks; k++ {
-				j := caT.majorOf(k)
-				if v, ok := dotCol(j); ok {
-					parts[b].i = append(parts[b].i, j)
-					parts[b].x = append(parts[b].x, v)
-				}
+	vals := make([]T, n)
+	found := make([]bool, n)
+	parallelWork(n, pullWorkQuantum, weight, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			if v, ok := dotCol(colOf(t)); ok {
+				vals[t] = v
+				found[t] = true
 			}
 		}
 	})
-	var zi []int
-	var zx []T
-	for _, p := range parts {
-		zi = append(zi, p.i...)
-		zx = append(zx, p.x...)
+	zi := make([]int, 0, n)
+	zx := make([]T, 0, n)
+	for t := 0; t < n; t++ {
+		if found[t] {
+			zi = append(zi, colOf(t))
+			zx = append(zx, vals[t])
+		}
 	}
 	return zi, zx
 }

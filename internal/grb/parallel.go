@@ -2,25 +2,27 @@ package grb
 
 import (
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers caps kernel parallelism; 0 means GOMAXPROCS. Settable for
-// experiments via SetParallelism.
-var maxWorkers = 0
+// experiments via SetParallelism. Accessed atomically so kernels may run
+// from concurrent goroutines while the knob is turned.
+var maxWorkers atomic.Int64
 
 // SetParallelism bounds the number of worker goroutines used by parallel
 // kernels (0 restores the default of GOMAXPROCS). It returns the previous
-// setting. Not safe to call concurrently with running operations.
+// setting. Safe to call concurrently; operations already in flight keep
+// the worker count they started with.
 func SetParallelism(n int) int {
-	old := maxWorkers
-	maxWorkers = n
-	return old
+	return int(maxWorkers.Swap(int64(n)))
 }
 
 func workers() int {
-	if maxWorkers > 0 {
-		return maxWorkers
+	if n := maxWorkers.Load(); n > 0 {
+		return int(n)
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -29,6 +31,10 @@ func workers() int {
 // at least grain elements and runs fn on each concurrently. fn must be
 // safe for concurrent invocation on disjoint ranges. Results are
 // deterministic as long as fn's effects are confined to its range.
+//
+// Use this for uniform per-element cost; for skewed workloads (power-law
+// row degrees) use parallelWork, which balances estimated flops instead of
+// element counts.
 func parallelRanges(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -56,6 +62,176 @@ func parallelRanges(n, grain int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// workChunks splits [0,n) into contiguous ranges holding roughly equal
+// total weight (estimated flops), not equal element counts: on power-law
+// inputs equal-count splitting leaves one worker with the hub rows and the
+// rest idle. Boundaries are found on the weight prefix sum, so a single
+// huge element ends up alone in its chunk and the remaining work spreads
+// over the other chunks.
+//
+// At most maxChunks ranges are produced, and none is created at all (a
+// single [0,n) range is returned) while the total weight is below quantum.
+// The boundaries depend only on (weights, quantum, maxChunks) — never on
+// the current worker count — so callers that fold chunk results in chunk
+// order get bitwise-identical output at any parallelism level.
+func workChunks(n int, weight func(k int) int, quantum, maxChunks int) []int {
+	if n <= 0 {
+		return []int{0, 0}
+	}
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	prefix := make([]int, n+1)
+	for k := 0; k < n; k++ {
+		w := weight(k)
+		if w < 0 {
+			w = 0
+		}
+		prefix[k+1] = prefix[k] + w
+	}
+	total := prefix[n]
+	if quantum < 1 {
+		quantum = 1
+	}
+	nchunks := total / quantum
+	if nchunks > maxChunks {
+		nchunks = maxChunks
+	}
+	if nchunks > n {
+		nchunks = n
+	}
+	if nchunks <= 1 {
+		return []int{0, n}
+	}
+	bounds := make([]int, 1, nchunks+1)
+	for c := 1; c < nchunks; c++ {
+		target := total / nchunks * c
+		// First index whose prefix exceeds the target.
+		b := sort.Search(n, func(k int) bool { return prefix[k+1] > target })
+		if b <= bounds[len(bounds)-1] {
+			continue // a heavy element swallowed this boundary
+		}
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// runChunks executes fn once per chunk of bounds, dynamically scheduled:
+// workers pull the next chunk index from an atomic counter, so a worker
+// that drew a light chunk immediately takes another while a worker stuck
+// on a hub chunk keeps going. fn receives the chunk index and its range;
+// it must confine its effects to per-chunk state or the range itself.
+func runChunks(bounds []int, fn func(c, lo, hi int)) {
+	nchunks := len(bounds) - 1
+	if nchunks <= 0 {
+		return
+	}
+	w := workers()
+	if w > nchunks {
+		w = nchunks
+	}
+	if w <= 1 {
+		for c := 0; c < nchunks; c++ {
+			fn(c, bounds[c], bounds[c+1])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				fn(c, bounds[c], bounds[c+1])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// workOversubscribe is how many chunks parallelWork creates per worker.
+// Finer chunks let the dynamic scheduler absorb estimation error (the
+// weight function is an estimate, not a measurement) at the cost of a
+// little scheduling overhead.
+const workOversubscribe = 4
+
+// parallelWork runs fn over [0,n) split at equal-weight boundaries and
+// dynamically scheduled: the flop-balanced counterpart of parallelRanges.
+// quantum is the minimum total weight worth spinning up goroutines for.
+// fn must be safe for concurrent invocation on disjoint ranges.
+func parallelWork(n, quantum int, weight func(k int) int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := workers()
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	bounds := workChunks(n, weight, quantum, w*workOversubscribe)
+	if len(bounds) <= 2 {
+		fn(0, n)
+		return
+	}
+	runChunks(bounds, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// parallelSortThreshold is the slice length below which parallelSortPerm
+// sorts serially; goroutine and merge overhead dominate under it.
+const parallelSortThreshold = 1 << 13
+
+// parallelSortPerm sorts perm by less, which must define a strict total
+// order (callers break ties on the original index, which also makes the
+// sort stable). Large slices are chunk-sorted concurrently and k-way
+// merged; the result is identical to a serial sort at any parallelism.
+func parallelSortPerm(perm []int, less func(a, b int) bool) {
+	n := len(perm)
+	w := workers()
+	if n < parallelSortThreshold || w <= 1 {
+		sort.Slice(perm, func(u, v int) bool { return less(perm[u], perm[v]) })
+		return
+	}
+	nchunks := w
+	if nchunks > n {
+		nchunks = n
+	}
+	bounds := make([]int, nchunks+1)
+	for c := 0; c <= nchunks; c++ {
+		bounds[c] = c * n / nchunks
+	}
+	runChunks(bounds, func(_, lo, hi int) {
+		s := perm[lo:hi]
+		sort.Slice(s, func(u, v int) bool { return less(s[u], s[v]) })
+	})
+	// K-way merge of the sorted chunks. Ties cannot occur (total order),
+	// so merge output is unique regardless of chunking.
+	heads := make([]int, nchunks)
+	for c := range heads {
+		heads[c] = bounds[c]
+	}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		best := -1
+		for c := 0; c < nchunks; c++ {
+			if heads[c] == bounds[c+1] {
+				continue
+			}
+			if best < 0 || less(perm[heads[c]], perm[heads[best]]) {
+				best = c
+			}
+		}
+		out = append(out, perm[heads[best]])
+		heads[best]++
+	}
+	copy(perm, out)
 }
 
 // rowSlices is the per-row staging area used by parallel kernels: each row

@@ -21,43 +21,34 @@ func ReduceMatrixToVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryO
 	}
 	ca := orientedCSR(a, d.TranA)
 	nvec := ca.nvecs()
-	zi := make([]int, 0, nvec)
-	zx := make([]T, 0, nvec)
-	type part struct {
-		i []int
-		x []T
-	}
-	parts := make([]part, 0)
-	// Reduce rows in parallel blocks, then concatenate in order.
-	nblocks := workers()
-	if nblocks > nvec {
-		nblocks = 1
-	}
-	parts = make([]part, nblocks)
-	parallelRanges(nblocks, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			lo := b * nvec / nblocks
-			hi := (b + 1) * nvec / nblocks
-			for k := lo; k < hi; k++ {
-				if ca.p[k+1] == ca.p[k] {
-					continue
-				}
-				_, cx := ca.vec(k)
-				acc := cx[0]
-				for t := 1; t < len(cx); t++ {
-					if mon.Terminal != nil && mon.Terminal(acc) {
-						break
-					}
-					acc = mon.Op(acc, cx[t])
-				}
-				parts[b].i = append(parts[b].i, ca.majorOf(k))
-				parts[b].x = append(parts[b].x, acc)
+	// Reduce rows in flop-balanced parallel ranges staged per row, then
+	// compact in order (a hub row no longer serializes the reduction).
+	vals := make([]T, nvec)
+	nonempty := make([]bool, nvec)
+	parallelWork(nvec, 1<<12, func(k int) int { return ca.p[k+1] - ca.p[k] + 1 }, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if ca.p[k+1] == ca.p[k] {
+				continue
 			}
+			_, cx := ca.vec(k)
+			acc := cx[0]
+			for t := 1; t < len(cx); t++ {
+				if mon.Terminal != nil && mon.Terminal(acc) {
+					break
+				}
+				acc = mon.Op(acc, cx[t])
+			}
+			vals[k] = acc
+			nonempty[k] = true
 		}
 	})
-	for _, p := range parts {
-		zi = append(zi, p.i...)
-		zx = append(zx, p.x...)
+	zi := make([]int, 0, nvec)
+	zx := make([]T, 0, nvec)
+	for k := 0; k < nvec; k++ {
+		if nonempty[k] {
+			zi = append(zi, ca.majorOf(k))
+			zx = append(zx, vals[k])
+		}
 	}
 	return writeVectorResult(w, mask, accum, zi, zx, d)
 }
@@ -74,27 +65,26 @@ func ReduceMatrixToScalar[T any](mon Monoid[T], a *Matrix[T]) (T, error) {
 	if n == 0 {
 		return mon.Identity, nil
 	}
-	nblocks := workers()
-	if nblocks > n {
-		nblocks = 1
-	}
-	partial := make([]T, nblocks)
-	parallelRanges(nblocks, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			lo := b * n / nblocks
-			hi := (b + 1) * n / nblocks
-			acc := mon.Identity
-			for t := lo; t < hi; t++ {
-				if mon.Terminal != nil && mon.Terminal(acc) {
-					break
-				}
-				acc = mon.Op(acc, c.x[t])
+	// Chunk boundaries depend only on n (never the worker count), and
+	// partials fold in chunk order, so the reduction is deterministic at
+	// any parallelism even for rounding-sensitive monoids.
+	bounds := workChunks(n, func(int) int { return 1 }, 1<<14, pushMaxChunks)
+	partial := make([]T, len(bounds)-1)
+	runChunks(bounds, func(b, lo, hi int) {
+		acc := mon.Identity
+		for t := lo; t < hi; t++ {
+			if mon.Terminal != nil && mon.Terminal(acc) {
+				break
 			}
-			partial[b] = acc
+			acc = mon.Op(acc, c.x[t])
 		}
+		partial[b] = acc
 	})
 	acc := mon.Identity
 	for _, p := range partial {
+		if mon.Terminal != nil && mon.Terminal(acc) {
+			break
+		}
 		acc = mon.Op(acc, p)
 	}
 	return acc, nil

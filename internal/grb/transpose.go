@@ -23,10 +23,16 @@ func (a *Matrix[T]) materializedCSC() *cs[T] {
 	return a.csc
 }
 
+// transposeParallelMin is the entry count above which transposeCS runs the
+// two-pass parallel bucket transpose instead of the serial one.
+const transposeParallelMin = 1 << 14
+
 // transposeCS returns the same entries with major and minor swapped. For
-// standard targets it uses an O(nvals + nminor) bucket pass; when the minor
-// dimension is huge and the matrix sparse (hypersparse regime) it sorts
-// tuples instead, keeping memory at O(nvals).
+// standard targets it uses an O(nvals + nminor) bucket pass — parallelized
+// as the classic two-pass transpose (per-chunk column counts → prefix sum
+// → concurrent scatter at exact offsets) when the matrix is large; when
+// the minor dimension is huge and the matrix sparse (hypersparse regime)
+// it sorts tuples instead, keeping memory at O(nvals).
 func transposeCS[T any](c *cs[T]) *cs[T] {
 	if c.nminor >= hyperThresholdDim*hyperRatio && c.nvals() < c.nminor/hyperRatio {
 		return transposeCSBySort(c)
@@ -36,6 +42,10 @@ func transposeCS[T any](c *cs[T]) *cs[T] {
 	nv := c.nvals()
 	t.i = make([]int, nv)
 	t.x = make([]T, nv)
+	if nv >= transposeParallelMin && workers() > 1 && c.nminor <= nv {
+		transposeParallel(c, t)
+		return t
+	}
 	// Count entries per minor index.
 	for _, j := range c.i {
 		t.p[j+1]++
@@ -58,6 +68,56 @@ func transposeCS[T any](c *cs[T]) *cs[T] {
 		}
 	}
 	return t
+}
+
+// transposeParallel fills t (pre-sized) from c with the two-pass bucket
+// transpose. Rows are cut at equal-entry boundaries; pass one counts each
+// chunk's entries per column, a prefix turns the counts into exact write
+// offsets, and pass two scatters every chunk concurrently. Entry positions
+// are fully determined by the counts, so the output is identical to the
+// serial transpose regardless of worker count or scheduling.
+func transposeParallel[T any](c, t *cs[T]) {
+	nvec := c.nvecs()
+	bounds := workChunks(nvec, func(k int) int { return c.p[k+1] - c.p[k] + 1 }, 1, workers())
+	nchunks := len(bounds) - 1
+	counts := make([][]int, nchunks)
+	runChunks(bounds, func(cx, lo, hi int) {
+		cnt := make([]int, c.nminor)
+		for _, j := range c.i[c.p[lo]:c.p[hi]] {
+			cnt[j]++
+		}
+		counts[cx] = cnt
+	})
+	// Turn per-chunk counts into within-column offsets and per-column
+	// totals, then prefix the totals into the column pointer array.
+	parallelRanges(c.nminor, 4096, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			run := 0
+			for cx := 0; cx < nchunks; cx++ {
+				tmp := counts[cx][j]
+				counts[cx][j] = run
+				run += tmp
+			}
+			t.p[j+1] = run
+		}
+	})
+	for j := 0; j < c.nminor; j++ {
+		t.p[j+1] += t.p[j]
+	}
+	runChunks(bounds, func(cx, lo, hi int) {
+		next := counts[cx]
+		for k := lo; k < hi; k++ {
+			row := c.majorOf(k)
+			ci, vx := c.vec(k)
+			for u := range ci {
+				j := ci[u]
+				pos := t.p[j] + next[j]
+				next[j]++
+				t.i[pos] = row
+				t.x[pos] = vx[u]
+			}
+		}
+	})
 }
 
 // transposeCSBySort builds a hypersparse transpose without O(nminor) work.

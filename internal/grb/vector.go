@@ -156,7 +156,7 @@ func (v *Vector[T]) Wait() {
 	v.nzomb = 0
 
 	if len(pend) > 1 {
-		sort.SliceStable(pend, func(a, b int) bool { return pend[a].i < pend[b].i })
+		pend = sortPendingTuples(pend) // j is zero throughout: orders by i, stable
 		w := 0
 		for r := 1; r < len(pend); r++ {
 			if pend[r].i == pend[w].i {
