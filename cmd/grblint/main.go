@@ -1,0 +1,120 @@
+// Command grblint runs the repository's invariant checks — the analyzer
+// suite in internal/lint — over the packages named by its arguments.
+//
+// Usage:
+//
+//	go run ./cmd/grblint [-json] [-checks a,b] [-list] [packages...]
+//
+// Packages are directories, with the go-tool "..." wildcard supported
+// (default "./..."). Exit status is 0 when clean, 1 when any diagnostic
+// is reported, 2 on a usage or load error.
+//
+// Individual findings can be suppressed with a trailing or preceding
+// comment:
+//
+//	//grblint:ignore <check>[,<check>...] <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lagraph/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	verbose := flag.Bool("v", false, "report packages as they are checked and any type-check noise")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-18s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	var selection []string
+	if *checksFlag != "" {
+		known := map[string]bool{}
+		for _, name := range lint.CheckNames() {
+			known[name] = true
+		}
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "grblint: unknown check %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selection = append(selection, name)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
+		os.Exit(2)
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	var all []lint.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grblint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "grblint: checking %s (%d files, %d type notes)\n",
+				pkg.Path, len(pkg.Files), len(pkg.TypeErrors))
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "grblint:   note: %v\n", te)
+			}
+		}
+		diags := lint.RunChecks(pkg, selection)
+		for i := range diags {
+			if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].File = rel
+			}
+		}
+		all = append(all, diags...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "grblint: %d diagnostic(s)\n", len(all))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+package grb
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAssembleCS round-trips arbitrary COO tuple batches — duplicates,
+// out-of-order input, empty rows, repeated rows — through assembleCS and
+// checks the three invariants every kernel depends on: the hypersparse
+// row list is strictly ascending, each row's column indices are strictly
+// ascending with monotone row pointers, and duplicate combination agrees
+// bitwise with a naive map-based oracle that folds duplicates in input
+// order (the same association assembleCS's stable (i,j,k) sort fixes).
+
+// fuzzTuples decodes the fuzzer's byte stream into a bounded tuple batch.
+func fuzzTuples(data []byte) (nmajor, nminor int, is, js []int, xs []float64) {
+	if len(data) < 2 {
+		return 1, 1, nil, nil, nil
+	}
+	nmajor = int(data[0])%64 + 1
+	nminor = int(data[1])%64 + 1
+	data = data[2:]
+	for len(data) >= 3 {
+		i := int(data[0]) % nmajor
+		j := int(data[1]) % nminor
+		// Small signed values keep float sums exact-but-interesting.
+		x := float64(int8(data[2]))
+		is = append(is, i)
+		js = append(js, j)
+		xs = append(xs, x)
+		data = data[3:]
+	}
+	return nmajor, nminor, is, js, xs
+}
+
+func FuzzAssembleCS(f *testing.F) {
+	// Seed: in-order distinct, duplicated keys, reversed order, row gaps.
+	f.Add([]byte{4, 4, 0, 0, 1, 1, 1, 2, 3, 3, 3})
+	f.Add([]byte{4, 4, 2, 2, 10, 2, 2, 20, 2, 2, 30})
+	f.Add([]byte{8, 8, 7, 7, 1, 3, 5, 2, 0, 0, 3, 3, 5, 4})
+	f.Add([]byte{2, 63, 1, 62, 1, 0, 0, 2, 1, 62, 3})
+	seed := make([]byte, 2+3*300)
+	seed[0], seed[1] = 16, 16
+	for k := range seed[2:] {
+		seed[2+k] = byte(k * 7)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nmajor, nminor, is, js, xs := fuzzTuples(data)
+
+		// Oracle: left-fold duplicates in input order.
+		type key struct{ i, j int }
+		oracle := map[key]float64{}
+		for k := range is {
+			kk := key{is[k], js[k]}
+			if old, ok := oracle[kk]; ok {
+				oracle[kk] = old + xs[k]
+			} else {
+				oracle[kk] = xs[k]
+			}
+		}
+
+		c, err := assembleCS(nmajor, nminor, is, js, xs, Plus[float64]())
+		if err != nil {
+			t.Fatalf("assembleCS: %v", err)
+		}
+
+		// Structural invariants.
+		if c.nmajor != nmajor || c.nminor != nminor {
+			t.Fatalf("dims (%d,%d), want (%d,%d)", c.nmajor, c.nminor, nmajor, nminor)
+		}
+		if len(c.p) != len(c.h)+1 || c.p[0] != 0 {
+			t.Fatalf("pointer shape: len(p)=%d len(h)=%d p[0]=%d", len(c.p), len(c.h), c.p[0])
+		}
+		for k := 0; k < c.nvecs(); k++ {
+			if k > 0 && c.h[k] <= c.h[k-1] {
+				t.Fatalf("row list not strictly ascending at %d: %v", k, c.h)
+			}
+			if c.p[k+1] <= c.p[k] {
+				t.Fatalf("stored row %d is empty or pointers non-monotone", k)
+			}
+			ci, _ := c.vec(k)
+			for t2 := 1; t2 < len(ci); t2++ {
+				if ci[t2] <= ci[t2-1] {
+					t.Fatalf("row %d columns not strictly ascending: %v", c.h[k], ci)
+				}
+			}
+		}
+
+		// Value agreement with the oracle, entry by entry.
+		if c.nvals() != len(oracle) {
+			t.Fatalf("nvals %d, want %d distinct keys", c.nvals(), len(oracle))
+		}
+		for k := 0; k < c.nvecs(); k++ {
+			ci, cx := c.vec(k)
+			for t2 := range ci {
+				kk := key{c.h[k], ci[t2]}
+				want, ok := oracle[kk]
+				if !ok {
+					t.Fatalf("entry (%d,%d) not in oracle", kk.i, kk.j)
+				}
+				if cx[t2] != want {
+					t.Fatalf("entry (%d,%d) = %v (bits %x), oracle %v (bits %x)",
+						kk.i, kk.j, cx[t2], bits(cx[t2]), want, bits(want))
+				}
+			}
+		}
+
+		// dup=nil must reject exactly the batches that contain duplicates.
+		_, err = assembleCS(nmajor, nminor, is, js, xs, nil)
+		hasDup := len(oracle) < len(is)
+		if hasDup && err != ErrInvalidValue {
+			t.Fatalf("dup=nil on duplicated input: err=%v, want ErrInvalidValue", err)
+		}
+		if !hasDup && err != nil {
+			t.Fatalf("dup=nil on duplicate-free input: %v", err)
+		}
+	})
+}
+
+func bits(x float64) uint64 { return math.Float64bits(x) }

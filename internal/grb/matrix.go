@@ -510,8 +510,10 @@ func (a *Matrix[T]) Build(is, js []int, xs []T, dup BinaryOp[T, T, T]) error {
 			return ErrIndexOutOfBounds
 		}
 	}
-	if a.csr.nvals() != 0 || len(a.pend) > 0 {
-		return ErrInvalidValue // Build requires an empty matrix
+	// Build requires an empty matrix; staleness is unobservable because the
+	// stored-entry read is paired with the pending-buffer check.
+	if a.csr.nvals() != 0 || len(a.pend) > 0 { //grblint:ignore pending-tuples read paired with pend check
+		return ErrInvalidValue
 	}
 	c, err := assembleCS(a.nr, a.nc, is, js, xs, dup)
 	if err != nil {

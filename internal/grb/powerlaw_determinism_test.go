@@ -1,0 +1,111 @@
+package grb_test
+
+// Cross-parallelism determinism over generator-grade input, asserted at
+// the serialization layer: a masked float64 MxM and a forced-push VxM
+// over gen.PowerLaw graphs must produce byte-for-byte identical
+// serialized results at SetParallelism(1) and SetParallelism(8). This is
+// the external-package twin of the in-package TestSkewed* suite — it goes
+// through the public API only and compares the full wire encoding, so a
+// nondeterminism anywhere between kernel partitioning and the stored
+// representation (pattern, values, hypersparse row list) fails it.
+
+import (
+	"bytes"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+)
+
+const (
+	plN     = 2048
+	plEdges = 32768
+	plAlpha = 1.7
+)
+
+// atParallelism runs fn with the worker bound set to p, restoring the
+// previous setting afterwards.
+func atParallelism(p int, fn func()) {
+	prev := grb.SetParallelism(p)
+	defer grb.SetParallelism(prev)
+	fn()
+}
+
+func serializedMatrix(t *testing.T, a *grb.Matrix[float64]) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := grb.SerializeMatrix(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func serializedVector(t *testing.T, v *grb.Vector[float64]) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := grb.SerializeVector(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPowerLawMaskedMxMDeterminism: C⟨M⟩ = A ⊕.⊗ A with a structural bool
+// mask, PlusTimes over float64 — the non-associative stress case.
+func TestPowerLawMaskedMxMDeterminism(t *testing.T) {
+	a := gen.PowerLaw(plN, plEdges, plAlpha, gen.Config{Seed: 61, NoSelfLoops: true}).Matrix()
+	mask := gen.PowerLaw(plN, plEdges/2, plAlpha, gen.Config{Seed: 62}).BoolMatrix()
+
+	run := func(p int) []byte {
+		var out []byte
+		atParallelism(p, func() {
+			c := grb.MustMatrix[float64](plN, plN)
+			if err := grb.MxM(c, mask, nil, grb.PlusTimes[float64](), a, a, nil); err != nil {
+				t.Fatal(err)
+			}
+			out = serializedMatrix(t, c)
+		})
+		return out
+	}
+
+	one := run(1)
+	eight := run(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("masked MxM serialization differs between SetParallelism(1) (%d bytes) and SetParallelism(8) (%d bytes)",
+			len(one), len(eight))
+	}
+}
+
+// TestPowerLawVxMPushDeterminism forces the push (scatter) kernel — the
+// one whose chunk merges fix the float association — via DirPush, with a
+// frontier wide enough to split into many flop-balanced chunks.
+func TestPowerLawVxMPushDeterminism(t *testing.T) {
+	a := gen.PowerLaw(plN, plEdges, plAlpha, gen.Config{Seed: 63, NoSelfLoops: true}).Matrix()
+
+	u := grb.MustVector[float64](plN)
+	for i := 0; i < plN; i += 2 {
+		if err := u.SetElement(i, 1.0/float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+
+	desc := &grb.Descriptor{Dir: grb.DirPush}
+	run := func(p int) []byte {
+		var out []byte
+		atParallelism(p, func() {
+			w := grb.MustVector[float64](plN)
+			if err := grb.VxM(w, (*grb.Vector[bool])(nil), nil, grb.PlusTimes[float64](), u, a, desc); err != nil {
+				t.Fatal(err)
+			}
+			out = serializedVector(t, w)
+		})
+		return out
+	}
+
+	one := run(1)
+	eight := run(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("push VxM serialization differs between SetParallelism(1) (%d bytes) and SetParallelism(8) (%d bytes)",
+			len(one), len(eight))
+	}
+}

@@ -213,7 +213,9 @@ func (v *Vector[T]) Build(is []int, xs []T, dup BinaryOp[T, T, T]) error {
 	if len(is) != len(xs) {
 		return ErrInvalidValue
 	}
-	if len(v.idx) != 0 || len(v.pend) > 0 {
+	// Build requires an empty vector; staleness is unobservable because the
+	// stored-entry read is paired with the pending-buffer check.
+	if len(v.idx) != 0 || len(v.pend) > 0 { //grblint:ignore pending-tuples read paired with pend check
 		return ErrInvalidValue
 	}
 	for _, i := range is {

@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"sort"
+
+	"lagraph/internal/grb"
+)
 
 // Maximal cardinality matching on bipartite graphs (§V, [42]) in the
 // Azad–Buluç linear-algebraic style: rounds of propose (each unmatched
@@ -54,7 +58,17 @@ func BipartiteMatching(a *grb.Matrix[float64]) (rowMate, colMate *grb.Vector[int
 				won[r] = pj[k]
 			}
 		}
-		for r, c := range won {
+		// Commit in sorted row order: won's keys are distinct, but the
+		// mate vectors' pending-tuple buffers must fill in an order
+		// independent of map iteration so results serialize identically
+		// run to run.
+		rows := make([]int64, 0, len(won))
+		for r := range won {
+			rows = append(rows, r)
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+		for _, r := range rows {
+			c := won[r]
 			_ = rowMate.SetElement(int(r), int64(c))
 			_ = colMate.SetElement(c, r)
 		}

@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"sort"
+
+	"lagraph/internal/grb"
+)
 
 // Modularity of a clustering — the standard quality score
 // Q = (1/2m) Σ_ij [A_ij − k_i·k_j / 2m] δ(c_i, c_j), used to evaluate the
@@ -56,8 +60,16 @@ func Modularity(g *Graph, labels *grb.Vector[int64]) (float64, error) {
 		}
 		return true
 	})
+	// Fold in sorted cluster order: float addition is not associative, so
+	// summing in map order would change the last bits of Q from run to run.
+	cids := make([]int64, 0, len(clusterDeg))
+	for c := range clusterDeg {
+		cids = append(cids, c)
+	}
+	sort.Slice(cids, func(a, b int) bool { return cids[a] < cids[b] })
 	expect := 0.0
-	for _, d := range clusterDeg {
+	for _, c := range cids {
+		d := clusterDeg[c]
 		expect += d * d
 	}
 	return within/twoM - expect/(twoM*twoM), nil

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errorDisciplineCheck forbids silently dropping error returns inside the
+// algorithm package: every grb API call there reports structural failures
+// (dimension mismatch, uninitialized operands) through its error, and an
+// algorithm that drops one keeps computing on garbage. A call used as a
+// bare expression statement is flagged; assigning to the blank identifier
+// (`_ = v.SetElement(...)`) is accepted as an explicit, greppable
+// statement that the error is impossible at this site.
+func errorDisciplineCheck() *Check {
+	return &Check{
+		Name: "error-discipline",
+		Doc:  "algorithms must not silently drop error returns",
+		Applies: func(p *Package) bool {
+			return p.Name == "lagraph"
+		},
+		Run: runErrorDiscipline,
+	}
+}
+
+func runErrorDiscipline(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) {
+				return true
+			}
+			r.Reportf(es.Pos(),
+				"error returned by %s is silently discarded; handle it or write an explicit `_ = ...`",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		par, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = par.X
+	}
+}
+
+// returnsError reports whether the call's result type is, or ends with,
+// the built-in error type.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

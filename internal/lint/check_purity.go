@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// kernelPurityCheck keeps the kernel packages (grb and its dense
+// reference mimic) pure: no wall-clock reads, no randomness, no process
+// environment, no printing to stdout. Kernels must be deterministic
+// functions of their operands — that is what makes the conformance
+// methodology (fast kernel vs dense mimic, §II-A) and the
+// cross-parallelism bitwise tests meaningful. Timing belongs in
+// benchmarks, randomness in internal/gen, I/O in cmd/.
+func kernelPurityCheck() *Check {
+	kernelPkgs := map[string]bool{"grb": true, "ref": true}
+	return &Check{
+		Name: "kernel-purity",
+		Doc:  "no time, randomness, os access, or printing inside kernel code",
+		Applies: func(p *Package) bool {
+			return kernelPkgs[p.Name]
+		},
+		Run: runKernelPurity,
+	}
+}
+
+// impureImports are packages kernel code must not import at all.
+var impureImports = map[string]string{
+	"time":         "wall-clock access makes kernel behaviour timing-dependent",
+	"math/rand":    "randomness breaks kernel determinism",
+	"math/rand/v2": "randomness breaks kernel determinism",
+	"os":           "kernels must not touch the process environment",
+}
+
+func runKernelPurity(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		// The local name each impure or print-capable package is bound to.
+		fmtName := ""
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			name := ""
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if reason, bad := impureImports[path]; bad {
+				r.Reportf(imp.Pos(), "kernel code must not import %q: %s", path, reason)
+				continue
+			}
+			if path == "fmt" {
+				fmtName = "fmt"
+				if name != "" {
+					fmtName = name
+				}
+			}
+		}
+		if fmtName == "" || fmtName == "_" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != fmtName {
+				return true
+			}
+			if strings.HasPrefix(sel.Sel.Name, "Print") {
+				r.Reportf(call.Pos(),
+					"kernel code must not print to stdout (%s.%s); return values or errors instead",
+					fmtName, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

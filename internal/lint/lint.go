@@ -1,0 +1,195 @@
+// Package lint is the analyzer framework behind cmd/grblint: a small,
+// stdlib-only (go/parser, go/ast, go/types — no x/tools) suite of checks
+// that mechanically enforce the kernel invariants the library's
+// correctness argument rests on. The GraphBLAS substrate promises
+// bitwise-deterministic results at any parallelism level and a disciplined
+// non-blocking execution model; both are properties a reviewer cannot
+// reliably police by eye, so they are enforced here instead (in the spirit
+// of LAGraph's position that a community algorithm collection needs
+// mechanically-checked correctness discipline).
+//
+// Diagnostics may be suppressed site-by-site with a trailing or preceding
+// comment of the form
+//
+//	//grblint:ignore <check>[,<check>...] [reason]
+//
+// The reason is free text; writing one is strongly encouraged, since an
+// ignore is a claim ("this map iteration never reaches an output path")
+// that the next reader must be able to audit.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// Check is one analyzer: a name (used in reports and ignore comments), a
+// one-line description, a package predicate, and the analysis itself.
+type Check struct {
+	Name string
+	Doc  string
+	// Applies reports whether the check runs on this package at all;
+	// checks that guard internals of a specific package key off the
+	// package name so they also run against fixture packages in tests.
+	Applies func(p *Package) bool
+	Run     func(p *Package, r *Reporter)
+}
+
+// Reporter accumulates diagnostics for one check over one package.
+type Reporter struct {
+	pkg   *Package
+	check string
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.pkg.Fset.Position(pos)
+	r.diags = append(r.diags, Diagnostic{
+		Check:   r.check,
+		File:    p.Filename,
+		Line:    p.Line,
+		Col:     p.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Checks returns the full suite in reporting order.
+func Checks() []*Check {
+	return []*Check{
+		determinismCheck(),
+		pendingTuplesCheck(),
+		atomicFieldsCheck(),
+		kernelPurityCheck(),
+		errorDisciplineCheck(),
+	}
+}
+
+// CheckNames returns the names of every registered check.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// RunChecks runs the selected checks (nil or empty selection = all) over a
+// package and returns the surviving diagnostics, ignore comments applied,
+// sorted by position.
+func RunChecks(p *Package, selection []string) []Diagnostic {
+	selected := map[string]bool{}
+	for _, s := range selection {
+		selected[s] = true
+	}
+	ignores := collectIgnores(p)
+	var out []Diagnostic
+	for _, c := range Checks() {
+		if len(selected) > 0 && !selected[c.Name] {
+			continue
+		}
+		if c.Applies != nil && !c.Applies(p) {
+			continue
+		}
+		r := &Reporter{pkg: p, check: c.Name}
+		c.Run(p, r)
+		for _, d := range r.diags {
+			if ignores.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].File != out[b].File {
+			return out[a].File < out[b].File
+		}
+		if out[a].Line != out[b].Line {
+			return out[a].Line < out[b].Line
+		}
+		if out[a].Col != out[b].Col {
+			return out[a].Col < out[b].Col
+		}
+		return out[a].Check < out[b].Check
+	})
+	return out
+}
+
+// ignoreRe matches the directive comment. The check list is a comma- or
+// space-free comma list; everything after it is a human reason.
+var ignoreRe = regexp.MustCompile(`grblint:ignore\s+([a-z][a-z0-9-]*(?:,[a-z][a-z0-9-]*)*)`)
+
+// ignoreIndex records, per file and line, which checks are suppressed.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func (ix ignoreIndex) suppressed(d Diagnostic) bool {
+	lines := ix[d.File]
+	if lines == nil {
+		return false
+	}
+	set := lines[d.Line]
+	return set != nil && (set[d.Check] || set["all"])
+}
+
+// collectIgnores scans every comment for ignore directives. A directive
+// applies to its own line (trailing comment) and to the following line
+// (standalone comment above the flagged statement).
+func collectIgnores(p *Package) ignoreIndex {
+	ix := ignoreIndex{}
+	add := func(file string, line int, check string) {
+		if ix[file] == nil {
+			ix[file] = map[int]map[string]bool{}
+		}
+		if ix[file][line] == nil {
+			ix[file][line] = map[string]bool{}
+		}
+		ix[file][line][check] = true
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					add(pos.Filename, pos.Line, name)
+					add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// exportedFuncs yields every exported function or method declaration with
+// a body, in file order.
+func exportedFuncs(p *Package, fn func(decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn(fd)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe marks an expected diagnostic in a fixture: `// WANT <check>` on
+// the line the diagnostic must be reported at.
+var wantRe = regexp.MustCompile(`// WANT ([a-z][a-z0-9-]*)`)
+
+// fixtureWants scans a fixture directory for WANT markers.
+func fixtureWants(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			t.Logf("skipping %s", e.Name())
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ln, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), ln+1, m[1])] = true
+			}
+		}
+	}
+	return want
+}
+
+// TestFixtures runs the whole suite over each fixture package and
+// compares the surviving diagnostics against the WANT markers. This
+// covers, per check, at least one caught violation, at least one clean
+// pass, and the //grblint:ignore suppression path (fixture sites that
+// carry a directive have no WANT marker and must stay silent).
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := []string{"determinism", "pending", "atomicfields", "purity", "errdiscipline"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", name)
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fixtureWants(t, dir)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no WANT markers", name)
+			}
+			got := map[string]bool{}
+			for _, d := range RunChecks(pkg, nil) {
+				got[fmt.Sprintf("%s:%d:%s", filepath.Base(d.File), d.Line, d.Check)] = true
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("missing diagnostic %s", k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("unexpected diagnostic %s", k)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckSelection verifies the -checks subset mechanism: selecting a
+// single check must drop every other check's findings.
+func TestCheckSelection(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "purity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(RunChecks(pkg, []string{"atomic-fields"})); n != 0 {
+		t.Fatalf("selection [atomic-fields] on purity fixture: want 0 diagnostics, got %d", n)
+	}
+	if n := len(RunChecks(pkg, []string{"kernel-purity"})); n == 0 {
+		t.Fatal("selection [kernel-purity] on purity fixture: want diagnostics, got none")
+	}
+}
+
+// TestCheckMetadata keeps the registry well-formed: unique kebab-case
+// names and docs (the names are load-bearing — they appear in ignore
+// directives).
+func TestCheckMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	nameRe := regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+	for _, c := range Checks() {
+		if !nameRe.MatchString(c.Name) {
+			t.Errorf("check name %q is not kebab-case", c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Doc == "" || c.Run == nil {
+			t.Errorf("check %q missing doc or run function", c.Name)
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("suite has %d checks, want at least 5", len(seen))
+	}
+}
+
+// TestRepoClean is the acceptance gate run as a unit test: the linter
+// must be clean over the entire repository. Any kernel change that
+// violates an invariant fails here (and in CI) before review.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{filepath.Join(loader.ModuleRoot, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("expected to find the module's packages, got %v", dirs)
+	}
+	total := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, d := range RunChecks(pkg, nil) {
+			t.Errorf("%s", d)
+			total++
+		}
+	}
+	if total > 0 {
+		t.Fatalf("grblint reports %d diagnostic(s) on the repository", total)
+	}
+}

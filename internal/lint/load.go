@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every check runs
+// over. Type-checking is best-effort — TypeErrors collects anything the
+// checker could not resolve, and checks degrade gracefully on missing
+// type info rather than failing the run (a package that truly does not
+// compile is caught by `go build`, not by grblint).
+type Package struct {
+	Path  string // import path ("lagraph/internal/grb")
+	Name  string // package name ("grb")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module. Module-internal
+// imports are resolved by the loader itself (parsing from source,
+// memoized); everything else — the standard library — is delegated to the
+// stdlib source importer, keeping the whole pipeline free of x/tools and
+// of compiled export data.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std   types.ImporterFrom
+	cache map[string]*Package
+	stack map[string]bool // import-cycle guard
+}
+
+// NewLoader locates the enclosing module of dir (by walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		cache:      map[string]*Package{},
+		stack:      map[string]bool{},
+	}
+	if src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom); ok {
+		l.std = src
+	}
+	return l, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// Expand resolves command-line patterns to package directories. "..."
+// suffixes walk recursively; other arguments name a single directory.
+// Directories named testdata or vendor, and hidden directories, are
+// skipped, mirroring the go tool.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	addIfPackage := func(dir string) {
+		if seen[dir] {
+			return
+		}
+		if hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, recursive := strings.CutSuffix(pat, "..."); recursive {
+			base := filepath.Clean(rest)
+			if base == "" || base == "."+string(filepath.Separator) {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				addIfPackage(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			dir := filepath.Clean(pat)
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("%s: no Go files", pat)
+			}
+			addIfPackage(dir)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in dir. Test files
+// (*_test.go) are excluded: every invariant grblint enforces is about
+// shipped kernel code, and test packages may deliberately exercise the
+// forbidden patterns.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("%s: outside module %s", dir, l.ModulePath)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.stack[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.stack[path] = true
+	defer delete(l.stack, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+
+	p := &Package{
+		Path:  path,
+		Name:  files[0].Name.Name,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: &loaderImporter{l: l},
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Best effort: Check reports the first hard error, but Info is
+	// populated for everything that did resolve.
+	tpkg, _ := conf.Check(path, l.Fset, files, p.Info)
+	p.Types = tpkg
+	l.cache[path] = p
+	return p, nil
+}
+
+// loaderImporter routes module-internal imports to the loader and
+// everything else to the standard library source importer.
+type loaderImporter struct {
+	l *Loader
+}
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, li.l.ModuleRoot, 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := li.l
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.load(path, filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("type-checking %s failed", path)
+		}
+		return p.Types, nil
+	}
+	if l.std == nil {
+		return nil, fmt.Errorf("no standard-library importer available for %q", path)
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the atomic-fields check: once an object's
+// address reaches sync/atomic, every access must be atomic.
+package fixture
+
+import "sync/atomic"
+
+type scheduler struct {
+	workers int64
+	limit   int64 // never touched atomically: plain access is fine
+}
+
+func (s *scheduler) grow() {
+	atomic.AddInt64(&s.workers, 1)
+}
+
+func (s *scheduler) badRead() int64 {
+	return s.workers // WANT atomic-fields
+}
+
+func (s *scheduler) badWrite(n int64) {
+	s.workers = n // WANT atomic-fields
+}
+
+func (s *scheduler) goodRead() int64 {
+	return atomic.LoadInt64(&s.workers)
+}
+
+func (s *scheduler) plainField() int64 {
+	return s.limit
+}
+
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func badSnapshot() int64 {
+	return hits // WANT atomic-fields
+}
+
+func goodSnapshot() int64 {
+	return atomic.LoadInt64(&hits)
+}
+
+func annotatedSnapshot() int64 {
+	return hits //grblint:ignore atomic-fields read under startup, pre-goroutine
+}

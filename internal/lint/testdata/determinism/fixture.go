@@ -1,0 +1,94 @@
+// Package grb is a determinism-check fixture: it is named grb so the
+// check (which targets the kernel packages by name) applies to it.
+package grb
+
+import "sort"
+
+// BadAppend derives output order from map order.
+func BadAppend(m map[int]int) []int {
+	var out []int
+	for k, v := range m { // WANT determinism
+		out = append(out, k+v)
+	}
+	return out
+}
+
+// BadFloatSum folds float values in map order: a different bitwise result
+// on every run.
+func BadFloatSum(m map[int64]float64) float64 {
+	s := 0.0
+	for _, v := range m { // WANT determinism
+		s += v * v
+	}
+	return s
+}
+
+// BadCall publishes each element through a function call.
+func BadCall(m map[int]int, emit func(int, int)) {
+	for k, v := range m { // WANT determinism
+		emit(k, v)
+	}
+}
+
+// BadIndexWrite writes through an index expression.
+func BadIndexWrite(m map[int]float64, out []float64) {
+	for k, v := range m { // WANT determinism
+		out[k%len(out)] = v
+	}
+}
+
+// GoodSortedKeys is the admitted idiom: collect keys, sort, then iterate
+// the sorted slice.
+func GoodSortedKeys(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s := 0.0
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// GoodLoopLocal confines all effects to loop-local state.
+func GoodLoopLocal(m map[int]int) {
+	for _, v := range m {
+		x := v * 2
+		x++
+		_ = x
+	}
+}
+
+// GoodCount writes a commutative integer count... is still an outer-var
+// write, so it needs (and demonstrates) an explicit, justified ignore.
+func GoodCount(m map[int]bool) int {
+	n := 0
+	for _, v := range m { //grblint:ignore determinism integer count is order-independent
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// GoodMapToMap inserts into another map keyed identically; keys are
+// distinct per iteration so the result is order-independent.
+func GoodMapToMap(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m { //grblint:ignore determinism distinct keys, order-independent
+		out[k] = v
+	}
+	return out
+}
+
+// GoodSliceRange ranges over a slice of the map's sorted keys — not a map
+// range at all, so no diagnostic.
+func GoodSliceRange(keys []int, m map[int]int) []int {
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

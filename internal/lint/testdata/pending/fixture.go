@@ -1,0 +1,101 @@
+// Package grb is a pending-tuples fixture: a miniature of the real
+// package's storage types, named identically so the check's type-name
+// driven analysis applies.
+package grb
+
+// cs mimics the compressed-sparse core.
+type cs struct {
+	p, h, i []int
+	x       []float64
+}
+
+func (c *cs) nvals() int { return c.p[len(c.p)-1] }
+
+// Matrix mimics the pending-tuple holder.
+type Matrix struct {
+	csr  *cs
+	csc  *cs
+	pend []int
+}
+
+// Wait assembles pending work (exempt: it is the assembler).
+func (a *Matrix) Wait() {
+	if len(a.pend) > 0 {
+		a.csr = &cs{p: []int{0}}
+		a.pend = nil
+	}
+}
+
+// Clear is exempt: it replaces storage wholesale.
+func (a *Matrix) Clear() {
+	a.csr = &cs{p: []int{0}}
+	a.pend = nil
+}
+
+// BadNvals reads csr internals with pending tuples possibly outstanding.
+func (a *Matrix) BadNvals() int {
+	return a.csr.nvals() // WANT pending-tuples
+}
+
+// BadRowPointers reads the row-pointer slice directly without assembly.
+func (a *Matrix) BadRowPointers() []int {
+	c := a.csr // WANT pending-tuples
+	return c.p
+}
+
+// GoodNvals completes pending work first.
+func (a *Matrix) GoodNvals() int {
+	a.Wait()
+	return a.csr.nvals()
+}
+
+// GoodWriteOnly only assigns storage; writing a fresh csr is not a read.
+func (a *Matrix) GoodWriteOnly(c *cs) {
+	a.csr = c
+	a.csc = nil
+}
+
+// GoodPendingOnly touches only the pending-side state.
+func (a *Matrix) GoodPendingOnly(t int) {
+	a.pend = append(a.pend, t)
+}
+
+// orientedCSR mimics the kernels' materializing orientation helper.
+func orientedCSR(a *Matrix) *cs {
+	a.Wait()
+	return a.csr
+}
+
+// GoodOrientedHelper sanitizes through the helper rather than Wait
+// directly, the way the real kernels do.
+func (a *Matrix) GoodOrientedHelper() int {
+	ca := orientedCSR(a)
+	return ca.nvals()
+}
+
+// Vector mimics the sparse vector.
+type Vector struct {
+	idx  []int
+	x    []float64
+	pend []int
+}
+
+// Wait assembles the vector's pending work.
+func (v *Vector) Wait() { v.pend = nil }
+
+// BadVectorRead reads the index slice without assembly.
+func (v *Vector) BadVectorRead() int {
+	return len(v.idx) // WANT pending-tuples
+}
+
+// GoodVectorRead assembles first.
+func (v *Vector) GoodVectorRead() int {
+	v.Wait()
+	return len(v.idx)
+}
+
+// GoodAnnotated demonstrates a justified suppression: it reads nvals but
+// pairs it with a pending-length test, so staleness cannot be observed.
+func (a *Matrix) GoodAnnotated() bool {
+	return a.csr.nvals() != 0 || len(a.pend) > 0 //grblint:ignore pending-tuples read is paired with the pend check
+}

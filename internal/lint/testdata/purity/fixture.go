@@ -1,0 +1,31 @@
+// Package grb is a kernel-purity fixture (named grb so the check
+// applies): kernels must not read clocks, draw randomness, touch the
+// process environment, or print.
+package grb
+
+import (
+	"fmt"
+	"math/rand" // WANT kernel-purity
+	"os"        // WANT kernel-purity
+	"time"      // WANT kernel-purity
+)
+
+// silence the unused-import notes; the diagnostics fire on the imports
+// themselves, not the uses.
+var (
+	_ = rand.Int
+	_ = os.Getenv
+	_ = time.Now
+)
+
+func debugDump(x int) {
+	fmt.Println("x =", x) // WANT kernel-purity
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("grb: %w", err) // Errorf is pure: allowed
+}
+
+func format(x int) string {
+	return fmt.Sprintf("%d", x) // Sprintf is pure: allowed
+}
