@@ -19,6 +19,7 @@ import (
 	"lagraph/internal/grb"
 	"lagraph/internal/lagraph"
 	"lagraph/internal/loccount"
+	"lagraph/internal/obs"
 )
 
 var (
@@ -66,6 +67,10 @@ type perfEntry struct {
 	Parallelism int     `json:"parallelism"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	SpeedupVsP1 float64 `json:"speedup_vs_p1,omitempty"`
+	// Obs is the observability counter diff for one run of the kernel at
+	// this parallelism level: which mxm kernel fired, how many chunks the
+	// scheduler made, the work estimate. Added in lagraph-perf/2.
+	Obs *obs.CounterSnapshot `json:"obs,omitempty"`
 }
 
 type perfReport struct {
@@ -149,7 +154,7 @@ func perf() {
 		pmax = 4
 	}
 	report := perfReport{
-		Schema:     "lagraph-perf/1",
+		Schema:     "lagraph-perf/2",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
@@ -162,13 +167,15 @@ func perf() {
 	for _, k := range kernels {
 		old := grb.SetParallelism(1)
 		d1 := timeIt(3, k.f)
+		o1 := observeOnce(k.f)
 		grb.SetParallelism(pmax)
 		dp := timeIt(3, k.f)
+		op := observeOnce(k.f)
 		grb.SetParallelism(old)
 		speedup := float64(d1) / float64(dp)
 		report.Results = append(report.Results,
-			perfEntry{Name: k.name, Parallelism: 1, NsPerOp: d1.Nanoseconds()},
-			perfEntry{Name: k.name, Parallelism: pmax, NsPerOp: dp.Nanoseconds(), SpeedupVsP1: speedup})
+			perfEntry{Name: k.name, Parallelism: 1, NsPerOp: d1.Nanoseconds(), Obs: o1},
+			perfEntry{Name: k.name, Parallelism: pmax, NsPerOp: dp.Nanoseconds(), SpeedupVsP1: speedup, Obs: op})
 		fmt.Printf("%-18s %14v %14v %8.2fx\n", k.name, d1, dp, speedup)
 	}
 	if *jsonOut != "" {
@@ -184,6 +191,18 @@ func perf() {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
+}
+
+// observeOnce runs f once under an obs.Counters sink (outside the timed
+// reps, so record emission never skews the reported ns/op) and returns
+// the counter diff: which kernels fired, chunk counts, work estimates.
+func observeOnce(f func()) *obs.CounterSnapshot {
+	var c obs.Counters
+	prev := obs.Set(&c)
+	f()
+	obs.Set(prev)
+	snap := c.Snapshot()
+	return &snap
 }
 
 // timeIt runs f a few times and returns the best wall time.

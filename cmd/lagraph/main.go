@@ -8,6 +8,7 @@
 //	lagraph info -in g.mtx
 //	lagraph run  -algo bfs -src 0 -in g.mtx
 //	lagraph run  -algo pagerank -kind rmat -scale 12
+//	lagraph run  -algo bfs -kind powerlaw -scale 12 -trace trace.json
 //
 // Algorithms: bfs, parents, sssp, bellmanford, pagerank, tc, ktruss, cc,
 // mis, coloring, bc, mcl, peerpressure, localcluster, apsp.
@@ -24,6 +25,7 @@ import (
 	"lagraph/internal/grb"
 	"lagraph/internal/lagraph"
 	"lagraph/internal/mmio"
+	"lagraph/internal/obs"
 )
 
 func main() {
@@ -53,9 +55,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  lagraph gen     -kind rmat|er|grid -scale N [-ef N] [-seed N] [-undirected] -out FILE
+  lagraph gen     -kind rmat|er|grid|powerlaw -scale N [-ef N] [-seed N] [-undirected] -out FILE
   lagraph info    -in FILE
-  lagraph run     -algo NAME (-in FILE | -kind ... -scale N) [-src N] [-k N] [-undirected]
+  lagraph run     -algo NAME (-in FILE | -kind ... -scale N) [-src N] [-k N] [-undirected] [-trace FILE]
   lagraph convert -in FILE(.mtx|.grb) -out FILE(.mtx|.grb)`)
 }
 
@@ -119,18 +121,20 @@ type graphFlags struct {
 	seed       *int64
 	undirected *bool
 	minW, maxW *float64
+	alpha      *float64
 }
 
 func addGraphFlags(fs *flag.FlagSet) *graphFlags {
 	return &graphFlags{
 		in:         fs.String("in", "", "Matrix Market input file"),
-		kind:       fs.String("kind", "rmat", "generator: rmat | er | grid"),
+		kind:       fs.String("kind", "rmat", "generator: rmat | er | grid | powerlaw"),
 		scale:      fs.Int("scale", 10, "generator scale (2^scale vertices; grid side for grid)"),
 		ef:         fs.Int("ef", 16, "edges per vertex"),
 		seed:       fs.Int64("seed", 1, "generator seed"),
 		undirected: fs.Bool("undirected", false, "treat/generate as undirected"),
 		minW:       fs.Float64("minw", 0, "minimum edge weight (0 = unweighted)"),
 		maxW:       fs.Float64("maxw", 0, "maximum edge weight"),
+		alpha:      fs.Float64("alpha", 1.8, "power-law exponent (powerlaw generator)"),
 	}
 }
 
@@ -157,6 +161,9 @@ func (gf *graphFlags) load() (*lagraph.Graph, error) {
 		e = gen.ErdosRenyi(n, *gf.ef*n, cfg)
 	case "grid":
 		e = gen.Grid2D(*gf.scale, *gf.scale, cfg)
+	case "powerlaw":
+		n := 1 << *gf.scale
+		e = gen.PowerLaw(n, *gf.ef*n, *gf.alpha, cfg)
 	default:
 		return nil, fmt.Errorf("unknown generator %q", *gf.kind)
 	}
@@ -217,6 +224,8 @@ func cmdRun(args []string) error {
 	src := fs.Int("src", 0, "source vertex (bfs/sssp/bc/localcluster)")
 	k := fs.Int("k", 3, "k (ktruss) / batch size (bc) / top-k (pagerank)")
 	delta := fs.Float64("delta", 2, "delta (sssp delta-stepping)")
+	trace := fs.String("trace", "", "write a JSON op/iteration trace to FILE (\"-\" = stdout)")
+	traceCap := fs.Int("trace-cap", obs.DefaultTraceCapacity, "trace ring-buffer capacity (records kept per kind)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -225,6 +234,17 @@ func cmdRun(args []string) error {
 		return err
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.NEdges())
+	var tr *obs.Trace
+	if *trace != "" {
+		tr = obs.NewTrace(*traceCap)
+		prev := obs.Set(tr)
+		defer func() {
+			obs.Set(prev)
+			if err := writeTrace(*trace, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "lagraph: trace:", err)
+			}
+		}()
+	}
 	t0 := time.Now()
 	defer func() { fmt.Printf("elapsed: %v\n", time.Since(t0)) }()
 
@@ -384,4 +404,20 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 	return nil
+}
+
+// writeTrace dumps the collected trace as indented JSON ("-" = stdout).
+func writeTrace(path string, tr *obs.Trace) error {
+	if path == "-" {
+		return tr.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

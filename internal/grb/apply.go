@@ -7,7 +7,7 @@ package grb
 // ApplyMatrix computes C⟨M⟩ ⊙= f(A) element-wise.
 func ApplyMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], f UnaryOp[A, T], a *Matrix[A], desc *Descriptor) error {
 	if c == nil || a == nil || f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	return applyIdxMatrix(c, mask, accum, func(x A, _, _ int) T { return f(x) }, a, desc)
 }
@@ -15,7 +15,7 @@ func ApplyMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T
 // ApplyIndexMatrix computes C⟨M⟩ ⊙= f(A(i,j), i, j).
 func ApplyIndexMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], f IndexUnaryOp[A, T], a *Matrix[A], desc *Descriptor) error {
 	if c == nil || a == nil || f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	return applyIdxMatrix(c, mask, accum, f, a, desc)
 }
@@ -27,7 +27,7 @@ func applyIdxMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T
 		ar, ac = ac, ar
 	}
 	if c.nr != ar || c.nc != ac {
-		return ErrDimensionMismatch
+		return opErrorf("apply", ErrDimensionMismatch, "C is %d×%d, A is %d×%d", c.nr, c.nc, ar, ac)
 	}
 	ca := orientedCSR(a, d.TranA)
 	z := &cs[T]{nmajor: ar, nminor: ac}
@@ -51,7 +51,7 @@ func applyIdxMatrix[A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T
 // ApplyVector computes w⟨m⟩ ⊙= f(u) element-wise.
 func ApplyVector[A, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], f UnaryOp[A, T], u *Vector[A], desc *Descriptor) error {
 	if w == nil || u == nil || f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	return ApplyIndexVector(w, mask, accum, func(x A, _, _ int) T { return f(x) }, u, desc)
 }
@@ -59,10 +59,10 @@ func ApplyVector[A, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T
 // ApplyIndexVector computes w⟨m⟩ ⊙= f(u(i), i, 0).
 func ApplyIndexVector[A, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], f IndexUnaryOp[A, T], u *Vector[A], desc *Descriptor) error {
 	if w == nil || u == nil || f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	if w.n != u.n {
-		return ErrDimensionMismatch
+		return opErrorf("apply", ErrDimensionMismatch, "w is %d, u is %d", w.n, u.n)
 	}
 	d := desc.get()
 	ui, ux := u.materialized()
@@ -79,7 +79,7 @@ func ApplyIndexVector[A, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp
 // extraction are all instances.
 func SelectMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], keep IndexUnaryOp[T, bool], a *Matrix[T], desc *Descriptor) error {
 	if c == nil || a == nil || keep == nil {
-		return ErrUninitialized
+		return opError("select", ErrUninitialized)
 	}
 	d := desc.get()
 	ar, ac := a.nr, a.nc
@@ -87,7 +87,7 @@ func SelectMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, 
 		ar, ac = ac, ar
 	}
 	if c.nr != ar || c.nc != ac {
-		return ErrDimensionMismatch
+		return opErrorf("select", ErrDimensionMismatch, "C is %d×%d, A is %d×%d", c.nr, c.nc, ar, ac)
 	}
 	ca := orientedCSR(a, d.TranA)
 	staging := newRowSlices[T](ca.nvecs())
@@ -115,10 +115,10 @@ func SelectMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, 
 // SelectVector computes w⟨m⟩ ⊙= u(keep).
 func SelectVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], keep IndexUnaryOp[T, bool], u *Vector[T], desc *Descriptor) error {
 	if w == nil || u == nil || keep == nil {
-		return ErrUninitialized
+		return opError("select", ErrUninitialized)
 	}
 	if w.n != u.n {
-		return ErrDimensionMismatch
+		return opErrorf("select", ErrDimensionMismatch, "w is %d, u is %d", w.n, u.n)
 	}
 	d := desc.get()
 	ui, ux := u.materialized()

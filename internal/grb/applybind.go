@@ -9,7 +9,7 @@ package grb
 // ApplyVectorBind1st computes w⟨m⟩ ⊙= f(s, u(i)) element-wise.
 func ApplyVectorBind1st[S, A, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], f BinaryOp[S, A, T], s S, u *Vector[A], desc *Descriptor) error {
 	if f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	return ApplyVector(w, mask, accum, func(x A) T { return f(s, x) }, u, desc)
 }
@@ -17,7 +17,7 @@ func ApplyVectorBind1st[S, A, T, M any](w *Vector[T], mask *Vector[M], accum Bin
 // ApplyVectorBind2nd computes w⟨m⟩ ⊙= f(u(i), s) element-wise.
 func ApplyVectorBind2nd[A, S, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], f BinaryOp[A, S, T], u *Vector[A], s S, desc *Descriptor) error {
 	if f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	return ApplyVector(w, mask, accum, func(x A) T { return f(x, s) }, u, desc)
 }
@@ -25,7 +25,7 @@ func ApplyVectorBind2nd[A, S, T, M any](w *Vector[T], mask *Vector[M], accum Bin
 // ApplyMatrixBind1st computes C⟨M⟩ ⊙= f(s, A(i,j)) element-wise.
 func ApplyMatrixBind1st[S, A, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], f BinaryOp[S, A, T], s S, a *Matrix[A], desc *Descriptor) error {
 	if f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	return ApplyMatrix(c, mask, accum, func(x A) T { return f(s, x) }, a, desc)
 }
@@ -33,7 +33,7 @@ func ApplyMatrixBind1st[S, A, T, M any](c *Matrix[T], mask *Matrix[M], accum Bin
 // ApplyMatrixBind2nd computes C⟨M⟩ ⊙= f(A(i,j), s) element-wise.
 func ApplyMatrixBind2nd[A, S, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], f BinaryOp[A, S, T], a *Matrix[A], s S, desc *Descriptor) error {
 	if f == nil {
-		return ErrUninitialized
+		return opError("apply", ErrUninitialized)
 	}
 	return ApplyMatrix(c, mask, accum, func(x A) T { return f(x, s) }, a, desc)
 }
@@ -42,7 +42,7 @@ func ApplyMatrixBind2nd[A, S, T, M any](c *Matrix[T], mask *Matrix[M], accum Bin
 // the entries of v (GrB_Matrix_diag).
 func DiagMatrix[T any](v *Vector[T], k int) (*Matrix[T], error) {
 	if v == nil {
-		return nil, ErrUninitialized
+		return nil, opError("diag", ErrUninitialized)
 	}
 	idx, xs := v.materialized()
 	n := v.n
@@ -74,7 +74,7 @@ func DiagMatrix[T any](v *Vector[T], k int) (*Matrix[T], error) {
 // (GxB_Vector_diag).
 func MatrixDiag[T any](a *Matrix[T], k int) (*Vector[T], error) {
 	if a == nil {
-		return nil, ErrUninitialized
+		return nil, opError("diag", ErrUninitialized)
 	}
 	c := a.materializedCSR()
 	// Diagonal length.
@@ -116,7 +116,7 @@ func MatrixDiag[T any](a *Matrix[T], k int) (*Vector[T], error) {
 // that fall outside the new bounds (GrB_Matrix_resize).
 func (a *Matrix[T]) Resize(nrows, ncols int) error {
 	if nrows < 0 || ncols < 0 {
-		return ErrInvalidValue
+		return opErrorf("resize", ErrInvalidValue, "want %d×%d", nrows, ncols)
 	}
 	a.Wait()
 	old := a.csr
@@ -142,7 +142,7 @@ func (a *Matrix[T]) Resize(nrows, ncols int) error {
 // beyond the new size (GrB_Vector_resize).
 func (v *Vector[T]) Resize(n int) error {
 	if n < 0 {
-		return ErrInvalidValue
+		return opErrorf("resize", ErrInvalidValue, "want %d", n)
 	}
 	v.Wait()
 	w := 0

@@ -1,6 +1,9 @@
 package grb
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestApplyBind(t *testing.T) {
 	u := MustVector[int64](5)
@@ -35,7 +38,7 @@ func TestApplyBind(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Nil op rejected.
-	if err := ApplyVectorBind1st[int64, int64, int64, bool](w, nil, nil, nil, 1, u, nil); err != ErrUninitialized {
+	if err := ApplyVectorBind1st[int64, int64, int64, bool](w, nil, nil, nil, 1, u, nil); !errors.Is(err, ErrUninitialized) {
 		t.Fatal("nil op must be rejected")
 	}
 }
@@ -132,7 +135,7 @@ func TestMatrixResize(t *testing.T) {
 	if err := a.SetElement(9, 9, 4); err != nil {
 		t.Fatal(err)
 	}
-	if a.Resize(-1, 2) != ErrInvalidValue {
+	if !errors.Is(a.Resize(-1, 2), ErrInvalidValue) {
 		t.Fatal("negative resize")
 	}
 }
@@ -153,7 +156,7 @@ func TestVectorResize(t *testing.T) {
 	if err := v.SetElement(7, 70); err != nil {
 		t.Fatal(err)
 	}
-	if v.Resize(-1) != ErrInvalidValue {
+	if !errors.Is(v.Resize(-1), ErrInvalidValue) {
 		t.Fatal("negative resize")
 	}
 }

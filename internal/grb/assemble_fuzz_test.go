@@ -1,6 +1,7 @@
 package grb
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -111,7 +112,7 @@ func FuzzAssembleCS(f *testing.F) {
 		// dup=nil must reject exactly the batches that contain duplicates.
 		_, err = assembleCS(nmajor, nminor, is, js, xs, nil)
 		hasDup := len(oracle) < len(is)
-		if hasDup && err != ErrInvalidValue {
+		if hasDup && !errors.Is(err, ErrInvalidValue) {
 			t.Fatalf("dup=nil on duplicated input: err=%v, want ErrInvalidValue", err)
 		}
 		if !hasDup && err != nil {

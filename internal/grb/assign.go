@@ -11,9 +11,9 @@ import "sort"
 // AssignVector computes w(I)⟨m⟩ ⊙= u, with nil I meaning all of w.
 func AssignVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], u *Vector[T], idx []int, desc *Descriptor) error {
 	if w == nil || u == nil {
-		return ErrUninitialized
+		return opError("assign", ErrUninitialized)
 	}
-	if err := checkIndices(idx, w.n); err != nil {
+	if err := checkIndices("assign", idx, w.n); err != nil {
 		return err
 	}
 	un := len(idx)
@@ -21,7 +21,7 @@ func AssignVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, 
 		un = w.n
 	}
 	if u.n != un {
-		return ErrDimensionMismatch
+		return opErrorf("assign", ErrDimensionMismatch, "u is %d, region is %d", u.n, un)
 	}
 	d := desc.get()
 	ui, ux := u.materialized()
@@ -87,13 +87,13 @@ const pendingFastPathMax = 256
 // of the Fig. 2 BFS.
 func AssignVectorScalar[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], s T, idx []int, desc *Descriptor) error {
 	if w == nil {
-		return ErrUninitialized
+		return opError("assign", ErrUninitialized)
 	}
-	if err := checkIndices(idx, w.n); err != nil {
+	if err := checkIndices("assign", idx, w.n); err != nil {
 		return err
 	}
 	if mask != nil && mask.n != w.n {
-		return ErrDimensionMismatch
+		return opErrorf("assign", ErrDimensionMismatch, "mask is %d, w is %d", mask.n, w.n)
 	}
 	d := desc.get()
 	mv := newMaskVec(mask, d)
@@ -184,7 +184,7 @@ func AssignVectorScalar[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[
 // positions outside the region always keep their previous value.
 func writeVectorRegion[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], zidx []int, zx []T, inRegion func(int) bool, d descValues) error {
 	if mask != nil && mask.n != w.n {
-		return ErrDimensionMismatch
+		return opErrorf("assign", ErrDimensionMismatch, "mask is %d, w is %d", mask.n, w.n)
 	}
 	mv := newMaskVec(mask, d)
 	widx, wx := w.materialized()
@@ -242,12 +242,12 @@ func writeVectorRegion[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T
 // rows/columns. Positions outside I×J are untouched.
 func AssignMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], a *Matrix[T], rows, cols []int, desc *Descriptor) error {
 	if c == nil || a == nil {
-		return ErrUninitialized
+		return opError("assign", ErrUninitialized)
 	}
-	if err := checkIndices(rows, c.nr); err != nil {
+	if err := checkIndices("assign", rows, c.nr); err != nil {
 		return err
 	}
-	if err := checkIndices(cols, c.nc); err != nil {
+	if err := checkIndices("assign", cols, c.nc); err != nil {
 		return err
 	}
 	anr, anc := len(rows), len(cols)
@@ -258,7 +258,7 @@ func AssignMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, 
 		anc = c.nc
 	}
 	if a.nr != anr || a.nc != anc {
-		return ErrDimensionMismatch
+		return opErrorf("assign", ErrDimensionMismatch, "A is %d×%d, region is %d×%d", a.nr, a.nc, anr, anc)
 	}
 	d := desc.get()
 
@@ -300,12 +300,12 @@ func AssignMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, 
 // position.
 func AssignMatrixScalar[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], s T, rows, cols []int, desc *Descriptor) error {
 	if c == nil {
-		return ErrUninitialized
+		return opError("assign", ErrUninitialized)
 	}
-	if err := checkIndices(rows, c.nr); err != nil {
+	if err := checkIndices("assign", rows, c.nr); err != nil {
 		return err
 	}
-	if err := checkIndices(cols, c.nc); err != nil {
+	if err := checkIndices("assign", cols, c.nc); err != nil {
 		return err
 	}
 	d := desc.get()
@@ -396,7 +396,7 @@ func regionSet(idx []int, n int) func(int) bool {
 // region: positions outside it always keep their previous value.
 func writeMatrixRegion[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], z *cs[T], rowIn, colIn func(int) bool, d descValues) error {
 	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
-		return ErrDimensionMismatch
+		return opErrorf("assign", ErrDimensionMismatch, "mask is %d×%d, C is %d×%d", mask.nr, mask.nc, c.nr, c.nc)
 	}
 	mm := newMaskMat(mask, d)
 	old := c.materializedCSR()

@@ -10,31 +10,31 @@ package grb
 // every tile in a grid column its width.
 func Concat[T any](tiles [][]*Matrix[T]) (*Matrix[T], error) {
 	if len(tiles) == 0 {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("concat", ErrInvalidValue, "empty tile grid")
 	}
 	gcols := len(tiles[0])
 	if gcols == 0 {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("concat", ErrInvalidValue, "empty tile grid")
 	}
 	rowH := make([]int, len(tiles))
 	colW := make([]int, gcols)
 	for r, row := range tiles {
 		if len(row) != gcols {
-			return nil, ErrInvalidValue
+			return nil, opErrorf("concat", ErrInvalidValue, "ragged tile grid: row %d has %d tiles, want %d", r, len(row), gcols)
 		}
 		for c, tile := range row {
 			if tile == nil {
-				return nil, ErrUninitialized
+				return nil, opError("concat", ErrUninitialized)
 			}
 			if rowH[r] == 0 {
 				rowH[r] = tile.Nrows()
 			} else if rowH[r] != tile.Nrows() {
-				return nil, ErrDimensionMismatch
+				return nil, opErrorf("concat", ErrDimensionMismatch, "tile (%d,%d) is %d rows, want %d", r, c, tile.Nrows(), rowH[r])
 			}
 			if colW[c] == 0 {
 				colW[c] = tile.Ncols()
 			} else if colW[c] != tile.Ncols() {
-				return nil, ErrDimensionMismatch
+				return nil, opErrorf("concat", ErrDimensionMismatch, "tile (%d,%d) is %d cols, want %d", r, c, tile.Ncols(), colW[c])
 			}
 		}
 	}
@@ -72,23 +72,23 @@ func Concat[T any](tiles [][]*Matrix[T]) (*Matrix[T], error) {
 // column widths (which must sum to a's dimensions).
 func Split[T any](a *Matrix[T], rowHeights, colWidths []int) ([][]*Matrix[T], error) {
 	if a == nil {
-		return nil, ErrUninitialized
+		return nil, opError("split", ErrUninitialized)
 	}
 	sumR, sumC := 0, 0
 	for _, h := range rowHeights {
 		if h < 0 {
-			return nil, ErrInvalidValue
+			return nil, opErrorf("split", ErrInvalidValue, "negative tile height %d", h)
 		}
 		sumR += h
 	}
 	for _, w := range colWidths {
 		if w < 0 {
-			return nil, ErrInvalidValue
+			return nil, opErrorf("split", ErrInvalidValue, "negative tile width %d", w)
 		}
 		sumC += w
 	}
 	if sumR != a.Nrows() || sumC != a.Ncols() {
-		return nil, ErrDimensionMismatch
+		return nil, opErrorf("split", ErrDimensionMismatch, "tiles sum to %d×%d, A is %d×%d", sumR, sumC, a.Nrows(), a.Ncols())
 	}
 	rowOff := make([]int, len(rowHeights)+1)
 	for r, h := range rowHeights {

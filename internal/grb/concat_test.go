@@ -1,6 +1,7 @@
 package grb
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -54,35 +55,35 @@ func TestConcatValidation(t *testing.T) {
 	a := MustMatrix[int](2, 3)
 	b := MustMatrix[int](2, 2)
 	c := MustMatrix[int](1, 3)
-	if _, err := Concat([][]*Matrix[int]{}); err != ErrInvalidValue {
+	if _, err := Concat([][]*Matrix[int]{}); !errors.Is(err, ErrInvalidValue) {
 		t.Fatal("empty grid")
 	}
-	if _, err := Concat([][]*Matrix[int]{{a, nil}}); err != ErrUninitialized {
+	if _, err := Concat([][]*Matrix[int]{{a, nil}}); !errors.Is(err, ErrUninitialized) {
 		t.Fatal("nil tile")
 	}
 	// Mismatched heights in one grid row.
-	if _, err := Concat([][]*Matrix[int]{{a, c}}); err != ErrDimensionMismatch {
+	if _, err := Concat([][]*Matrix[int]{{a, c}}); !errors.Is(err, ErrDimensionMismatch) {
 		t.Fatal("row heights")
 	}
 	// Mismatched widths in one grid column.
-	if _, err := Concat([][]*Matrix[int]{{a}, {b}}); err != ErrDimensionMismatch {
+	if _, err := Concat([][]*Matrix[int]{{a}, {b}}); !errors.Is(err, ErrDimensionMismatch) {
 		t.Fatal("column widths")
 	}
 	// Ragged grid.
-	if _, err := Concat([][]*Matrix[int]{{a, a}, {a}}); err != ErrInvalidValue {
+	if _, err := Concat([][]*Matrix[int]{{a, a}, {a}}); !errors.Is(err, ErrInvalidValue) {
 		t.Fatal("ragged")
 	}
 }
 
 func TestSplitValidation(t *testing.T) {
 	a := MustMatrix[int](4, 4)
-	if _, err := Split(a, []int{2, 3}, []int{4}); err != ErrDimensionMismatch {
+	if _, err := Split(a, []int{2, 3}, []int{4}); !errors.Is(err, ErrDimensionMismatch) {
 		t.Fatal("row sum")
 	}
-	if _, err := Split(a, []int{4}, []int{-1, 5}); err != ErrInvalidValue {
+	if _, err := Split(a, []int{4}, []int{-1, 5}); !errors.Is(err, ErrInvalidValue) {
 		t.Fatal("negative width")
 	}
-	if _, err := Split[int](nil, []int{1}, []int{1}); err != ErrUninitialized {
+	if _, err := Split[int](nil, []int{1}, []int{1}); !errors.Is(err, ErrUninitialized) {
 		t.Fatal("nil matrix")
 	}
 }

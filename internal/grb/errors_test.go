@@ -1,6 +1,7 @@
 package grb
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -13,49 +14,49 @@ func TestOpNilArguments(t *testing.T) {
 	v := MustVector[int64](3)
 	s := PlusTimes[int64]()
 
-	if err := MxM[int64, int64, int64, bool](nil, nil, nil, s, a, a, nil); err != ErrUninitialized {
+	if err := MxM[int64, int64, int64, bool](nil, nil, nil, s, a, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("mxm nil output")
 	}
-	if err := MxM[int64, int64, int64, bool](a, nil, nil, s, nil, a, nil); err != ErrUninitialized {
+	if err := MxM[int64, int64, int64, bool](a, nil, nil, s, nil, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("mxm nil input")
 	}
-	if err := MxM[int64, int64, int64, bool](a, nil, nil, Semiring[int64, int64, int64]{}, a, a, nil); err != ErrUninitialized {
+	if err := MxM[int64, int64, int64, bool](a, nil, nil, Semiring[int64, int64, int64]{}, a, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("mxm empty semiring")
 	}
-	if err := VxM[int64, int64, int64, bool](nil, nil, nil, s, v, a, nil); err != ErrUninitialized {
+	if err := VxM[int64, int64, int64, bool](nil, nil, nil, s, v, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("vxm nil output")
 	}
-	if err := MxV[int64, int64, int64, bool](v, nil, nil, s, nil, v, nil); err != ErrUninitialized {
+	if err := MxV[int64, int64, int64, bool](v, nil, nil, s, nil, v, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("mxv nil matrix")
 	}
-	if err := EWiseAddMatrix[int64, bool](a, nil, nil, nil, a, a, nil); err != ErrUninitialized {
+	if err := EWiseAddMatrix[int64, bool](a, nil, nil, nil, a, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("ewiseadd nil op")
 	}
-	if err := EWiseMultVector[int64, int64, int64, bool](v, nil, nil, nil, v, v, nil); err != ErrUninitialized {
+	if err := EWiseMultVector[int64, int64, int64, bool](v, nil, nil, nil, v, v, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("ewisemult nil op")
 	}
-	if err := ApplyMatrix[int64, int64, bool](a, nil, nil, nil, a, nil); err != ErrUninitialized {
+	if err := ApplyMatrix[int64, int64, bool](a, nil, nil, nil, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("apply nil op")
 	}
-	if err := SelectMatrix[int64, bool](a, nil, nil, nil, a, nil); err != ErrUninitialized {
+	if err := SelectMatrix[int64, bool](a, nil, nil, nil, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("select nil op")
 	}
-	if err := ReduceMatrixToVector[int64, bool](v, nil, nil, Monoid[int64]{}, a, nil); err != ErrUninitialized {
+	if err := ReduceMatrixToVector[int64, bool](v, nil, nil, Monoid[int64]{}, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("reduce empty monoid")
 	}
-	if _, err := ReduceMatrixToScalar(PlusMonoid[int64](), (*Matrix[int64])(nil)); err != ErrUninitialized {
+	if _, err := ReduceMatrixToScalar(PlusMonoid[int64](), (*Matrix[int64])(nil)); !errors.Is(err, ErrUninitialized) {
 		t.Error("reduce nil matrix")
 	}
-	if err := Transpose[int64, bool](nil, nil, nil, a, nil); err != ErrUninitialized {
+	if err := Transpose[int64, bool](nil, nil, nil, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("transpose nil output")
 	}
-	if err := Kronecker[int64, int64, int64, bool](a, nil, nil, nil, a, a, nil); err != ErrUninitialized {
+	if err := Kronecker[int64, int64, int64, bool](a, nil, nil, nil, a, a, nil); !errors.Is(err, ErrUninitialized) {
 		t.Error("kronecker nil op")
 	}
-	if _, err := DiagMatrix[int64](nil, 0); err != ErrUninitialized {
+	if _, err := DiagMatrix[int64](nil, 0); !errors.Is(err, ErrUninitialized) {
 		t.Error("diag nil vector")
 	}
-	if _, err := MatrixDiag[int64](nil, 0); err != ErrUninitialized {
+	if _, err := MatrixDiag[int64](nil, 0); !errors.Is(err, ErrUninitialized) {
 		t.Error("matrixdiag nil")
 	}
 }
@@ -71,87 +72,87 @@ func TestOpDimensionMismatches(t *testing.T) {
 	s := PlusTimes[int64]()
 
 	// mxm inner dimension.
-	if err := MxM[int64, int64, int64, bool](c35, nil, nil, s, a34, a33, nil); err != ErrDimensionMismatch {
+	if err := MxM[int64, int64, int64, bool](c35, nil, nil, s, a34, a33, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("mxm inner dim")
 	}
 	// mxm output shape.
-	if err := MxM[int64, int64, int64, bool](a33, nil, nil, s, a34, a45, nil); err != ErrDimensionMismatch {
+	if err := MxM[int64, int64, int64, bool](a33, nil, nil, s, a34, a45, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("mxm output dim")
 	}
 	// mxm mask shape.
-	if err := MxM(c35, a33, nil, s, a34, a45, nil); err != ErrDimensionMismatch {
+	if err := MxM(c35, a33, nil, s, a34, a45, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("mxm mask dim")
 	}
 	// Transposed shapes flip requirements.
-	if err := MxM[int64, int64, int64, bool](c35, nil, nil, s, a34, a45, DescT0); err != ErrDimensionMismatch {
+	if err := MxM[int64, int64, int64, bool](c35, nil, nil, s, a34, a45, DescT0); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("mxm tranA dim should mismatch")
 	}
 	// vxm / mxv.
-	if err := VxM[int64, int64, int64, bool](v5, nil, nil, s, v4, a34, nil); err != ErrDimensionMismatch {
+	if err := VxM[int64, int64, int64, bool](v5, nil, nil, s, v4, a34, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("vxm input dim")
 	}
-	if err := VxM[int64, int64, int64, bool](v5, nil, nil, s, v3, a34, nil); err != ErrDimensionMismatch {
+	if err := VxM[int64, int64, int64, bool](v5, nil, nil, s, v3, a34, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("vxm output dim")
 	}
-	if err := MxV[int64, int64, int64, bool](v3, nil, nil, s, a34, v3, nil); err != ErrDimensionMismatch {
+	if err := MxV[int64, int64, int64, bool](v3, nil, nil, s, a34, v3, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("mxv input dim")
 	}
-	if err := VxM(v4, v3, nil, s, v3, a34, nil); err != ErrDimensionMismatch {
+	if err := VxM(v4, v3, nil, s, v3, a34, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("vxm mask dim")
 	}
 	// eWise.
-	if err := EWiseAddMatrix[int64, bool](a34, nil, nil, Plus[int64](), a34, a45, nil); err != ErrDimensionMismatch {
+	if err := EWiseAddMatrix[int64, bool](a34, nil, nil, Plus[int64](), a34, a45, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("ewise dims")
 	}
-	if err := EWiseAddVector[int64, bool](v3, nil, nil, Plus[int64](), v3, v4, nil); err != ErrDimensionMismatch {
+	if err := EWiseAddVector[int64, bool](v3, nil, nil, Plus[int64](), v3, v4, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("ewise vec dims")
 	}
 	// apply/select output shape.
-	if err := ApplyMatrix[int64, int64, bool](a33, nil, nil, Identity[int64](), a34, nil); err != ErrDimensionMismatch {
+	if err := ApplyMatrix[int64, int64, bool](a33, nil, nil, Identity[int64](), a34, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("apply dims")
 	}
-	if err := SelectMatrix[int64, bool](a33, nil, nil, Tril[int64](0), a34, nil); err != ErrDimensionMismatch {
+	if err := SelectMatrix[int64, bool](a33, nil, nil, Tril[int64](0), a34, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("select dims")
 	}
 	// reduce.
-	if err := ReduceMatrixToVector[int64, bool](v4, nil, nil, PlusMonoid[int64](), a34, nil); err != ErrDimensionMismatch {
+	if err := ReduceMatrixToVector[int64, bool](v4, nil, nil, PlusMonoid[int64](), a34, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("reduce dims (rows)")
 	}
-	if err := ReduceMatrixToVector[int64, bool](v3, nil, nil, PlusMonoid[int64](), a34, DescT0); err != ErrDimensionMismatch {
+	if err := ReduceMatrixToVector[int64, bool](v3, nil, nil, PlusMonoid[int64](), a34, DescT0); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("reduce dims (cols)")
 	}
 	// transpose.
-	if err := Transpose[int64, bool](a34, nil, nil, a34, nil); err != ErrDimensionMismatch {
+	if err := Transpose[int64, bool](a34, nil, nil, a34, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("transpose dims")
 	}
 	// extract/assign.
-	if err := ExtractMatrix[int64, bool](a33, nil, nil, a34, []int{0, 1}, []int{0}, nil); err != ErrDimensionMismatch {
+	if err := ExtractMatrix[int64, bool](a33, nil, nil, a34, []int{0, 1}, []int{0}, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("extract dims")
 	}
-	if err := ExtractMatrix[int64, bool](a33, nil, nil, a34, []int{9}, nil, nil); err != ErrIndexOutOfBounds {
+	if err := ExtractMatrix[int64, bool](a33, nil, nil, a34, []int{9}, nil, nil); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Error("extract oob")
 	}
-	if err := AssignMatrix[int64, bool](a34, nil, nil, a33, []int{0, 1}, []int{0, 1, 2}, nil); err != ErrDimensionMismatch {
+	if err := AssignMatrix[int64, bool](a34, nil, nil, a33, []int{0, 1}, []int{0, 1, 2}, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("assign dims")
 	}
-	if err := AssignMatrix[int64, bool](a34, nil, nil, a33, []int{0, 1, 9}, []int{0, 1, 2}, nil); err != ErrIndexOutOfBounds {
+	if err := AssignMatrix[int64, bool](a34, nil, nil, a33, []int{0, 1, 9}, []int{0, 1, 2}, nil); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Error("assign oob")
 	}
-	if err := ExtractVector[int64, bool](v3, nil, nil, v4, []int{0, 1}, nil); err != ErrDimensionMismatch {
+	if err := ExtractVector[int64, bool](v3, nil, nil, v4, []int{0, 1}, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("vextract dims")
 	}
-	if err := AssignVector[int64, bool](v4, nil, nil, v3, []int{0, 1}, nil); err != ErrDimensionMismatch {
+	if err := AssignVector[int64, bool](v4, nil, nil, v3, []int{0, 1}, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("vassign dims")
 	}
-	if err := AssignVectorScalar[int64, bool](v4, nil, nil, 7, []int{0, 9}, nil); err != ErrIndexOutOfBounds {
+	if err := AssignVectorScalar[int64, bool](v4, nil, nil, 7, []int{0, 9}, nil); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Error("vassign scalar oob")
 	}
 	// kronecker output shape.
-	if err := Kronecker[int64, int64, int64, bool](a34, nil, nil, Times[int64](), a33, a33, nil); err != ErrDimensionMismatch {
+	if err := Kronecker[int64, int64, int64, bool](a34, nil, nil, Times[int64](), a33, a33, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Error("kronecker dims")
 	}
 	// column extract.
-	if err := ExtractMatrixCol[int64, bool](v3, nil, nil, a34, nil, 7, nil); err != ErrIndexOutOfBounds {
+	if err := ExtractMatrixCol[int64, bool](v3, nil, nil, a34, nil, 7, nil); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Error("col extract oob")
 	}
 }

@@ -1,0 +1,25 @@
+package grb
+
+import "fmt"
+
+// Error wrapping discipline: every public entry point that fails returns
+// one of the package sentinels (ErrUninitialized, ErrDimensionMismatch,
+// ...) wrapped with the operation's name — and, for structural failures,
+// the offending dimensions — via %w. Callers match with errors.Is; the
+// sentinel taxonomy is the stable API (locked by TestErrorTaxonomy), the
+// message text is diagnostic only.
+//
+// Element-level accessors (GetElement / SetElement and the ErrNoValue
+// path) intentionally return bare sentinels: they sit on per-element hot
+// loops where a fmt.Errorf per miss would allocate.
+
+// opError wraps a sentinel with the public operation that produced it.
+func opError(op string, err error) error {
+	return fmt.Errorf("grb.%s: %w", op, err)
+}
+
+// opErrorf wraps a sentinel with the operation name and a formatted
+// detail (typically the offending dimensions).
+func opErrorf(op string, err error, format string, args ...any) error {
+	return fmt.Errorf("grb.%s: %s: %w", op, fmt.Sprintf(format, args...), err)
+}

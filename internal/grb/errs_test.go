@@ -1,0 +1,145 @@
+package grb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestErrorTaxonomy locks the error-reporting contract: every public entry
+// point wraps its sentinel with %w (errors.Is must match) and prefixes the
+// message with "grb.<op>:" so a failure names the operation that rejected
+// the call. Adding an entry point without wrapping breaks this table.
+func TestErrorTaxonomy(t *testing.T) {
+	u3 := MustVector[int64](3)
+	u4 := MustVector[int64](4)
+	m22 := MustMatrix[int64](2, 2)
+	m23 := MustMatrix[int64](2, 3)
+	cases := []struct {
+		name string
+		op   string // expected "grb.<op>:" prefix
+		want error
+		call func() error
+	}{
+		{"mxm nil", "mxm", ErrUninitialized, func() error {
+			return MxM[int64, int64, int64, bool](nil, nil, nil, PlusTimes[int64](), m22, m22, nil)
+		}},
+		{"mxm dims", "mxm", ErrDimensionMismatch, func() error {
+			return MxM[int64, int64, int64, bool](m22, nil, nil, PlusTimes[int64](), m23, m22, nil)
+		}},
+		{"vxm nil", "vxm", ErrUninitialized, func() error {
+			return VxM[int64, int64, int64, bool](nil, nil, nil, PlusTimes[int64](), u3, m22, nil)
+		}},
+		{"vxm dims", "vxm", ErrDimensionMismatch, func() error {
+			return VxM[int64, int64, int64, bool](u3, nil, nil, PlusTimes[int64](), u4, m22, nil)
+		}},
+		{"mxv dims", "mxv", ErrDimensionMismatch, func() error {
+			return MxV[int64, int64, int64, bool](u3, nil, nil, PlusTimes[int64](), m22, u4, nil)
+		}},
+		{"kronecker nil", "kronecker", ErrUninitialized, func() error {
+			return Kronecker[int64, int64, int64, bool](nil, nil, nil, Times[int64](), m22, m22, nil)
+		}},
+		{"ewiseadd matrix dims", "eWiseAdd", ErrDimensionMismatch, func() error {
+			return EWiseAddMatrix[int64, bool](m22, nil, nil, Plus[int64](), m22, m23, nil)
+		}},
+		{"ewisemult vector nil", "eWiseMult", ErrUninitialized, func() error {
+			return EWiseMultVector[int64, int64, int64, bool](u3, nil, nil, nil, u3, u3, nil)
+		}},
+		{"ewiseunion vector dims", "eWiseUnion", ErrDimensionMismatch, func() error {
+			return EWiseUnionVector[int64, bool](u3, nil, nil, Plus[int64](), u3, 0, u4, 0, nil)
+		}},
+		{"apply nil", "apply", ErrUninitialized, func() error {
+			return ApplyVector[int64, int64, bool](u3, nil, nil, nil, u3, nil)
+		}},
+		{"apply bind nil", "apply", ErrUninitialized, func() error {
+			return ApplyVectorBind2nd[int64, int64, int64, bool](u3, nil, nil, nil, u3, 1, nil)
+		}},
+		{"select dims", "select", ErrDimensionMismatch, func() error {
+			return SelectVector[int64, bool](u3, nil, nil, ValueGT(int64(0)), u4, nil)
+		}},
+		{"assign index", "assign", ErrIndexOutOfBounds, func() error {
+			return AssignVectorScalar[int64, bool](u3, nil, nil, 1, []int{9}, nil)
+		}},
+		{"assign dims", "assign", ErrDimensionMismatch, func() error {
+			return AssignVector[int64, bool](u3, nil, nil, u4, []int{0}, nil)
+		}},
+		{"extract nil", "extract", ErrUninitialized, func() error {
+			return ExtractVector[int64, bool](nil, nil, nil, u3, All, nil)
+		}},
+		{"extract index", "extract", ErrIndexOutOfBounds, func() error {
+			return ExtractVector[int64, bool](u3, nil, nil, u3, []int{0, 7, 1}, nil)
+		}},
+		{"reduce nil", "reduce", ErrUninitialized, func() error {
+			_, err := ReduceVectorToScalar(Monoid[int64]{}, u3)
+			return err
+		}},
+		{"transpose dims", "transpose", ErrDimensionMismatch, func() error {
+			return Transpose[int64, bool](m22, nil, nil, m23, nil)
+		}},
+		{"concat ragged", "concat", ErrInvalidValue, func() error {
+			_, err := Concat([][]*Matrix[int64]{{m22, m22}, {m22}})
+			return err
+		}},
+		{"split sums", "split", ErrDimensionMismatch, func() error {
+			_, err := Split(m22, []int{1}, []int{2})
+			return err
+		}},
+		{"serialize nil", "serialize", ErrUninitialized, func() error {
+			return SerializeMatrix[int64](&strings.Builder{}, nil)
+		}},
+		{"build lengths", "build", ErrInvalidValue, func() error {
+			return MustMatrix[int64](2, 2).Build([]int{0}, []int{0, 1}, []int64{1}, nil)
+		}},
+		{"import shape", "import", ErrInvalidValue, func() error {
+			_, err := ImportCSR(2, 2, []int{0, 1}, []int{0}, []int64{1}, false)
+			return err
+		}},
+		{"diag nil", "diag", ErrUninitialized, func() error {
+			_, err := DiagMatrix[int64](nil, 0)
+			return err
+		}},
+		{"innerProduct dims", "innerProduct", ErrDimensionMismatch, func() error {
+			_, _, err := InnerProduct(PlusTimes[int64](), u3, u4)
+			return err
+		}},
+		{"resize negative", "resize", ErrInvalidValue, func() error {
+			return MustMatrix[int64](2, 2).Resize(-1, 2)
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: errors.Is(%v, %v) = false", tc.name, err, tc.want)
+		}
+		if !strings.HasPrefix(err.Error(), "grb."+tc.op+":") {
+			t.Errorf("%s: message %q lacks prefix %q", tc.name, err.Error(), "grb."+tc.op+":")
+		}
+	}
+}
+
+// TestHotPathAccessorsStayBare documents the deliberate exception: the
+// element-level accessors return the sentinels unwrapped so the probe in a
+// tight loop costs no allocation.
+func TestHotPathAccessorsStayBare(t *testing.T) {
+	v := MustVector[int64](4)
+	if _, err := v.GetElement(2); err != ErrNoValue {
+		t.Fatalf("GetElement miss: got %v, want bare ErrNoValue", err)
+	}
+	if err := v.SetElement(9, 1); err != ErrIndexOutOfBounds {
+		t.Fatalf("SetElement oob: got %v, want bare ErrIndexOutOfBounds", err)
+	}
+	a := MustMatrix[int64](2, 2)
+	if _, err := a.GetElement(0, 0); err != ErrNoValue {
+		t.Fatalf("matrix GetElement miss: got %v, want bare ErrNoValue", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _ = v.GetElement(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("GetElement miss allocates %.1f per call", allocs)
+	}
+}

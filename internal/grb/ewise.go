@@ -84,8 +84,8 @@ func unionRows[A, B any](a *cs[A], b *cs[B]) []int {
 }
 
 // eWiseDims validates operand dimensions under the descriptor and returns
-// the output shape.
-func eWiseDims[A, B any](a *Matrix[A], b *Matrix[B], d descValues) (nr, nc int, err error) {
+// the output shape. op names the public entry point for error reports.
+func eWiseDims[A, B any](op string, a *Matrix[A], b *Matrix[B], d descValues) (nr, nc int, err error) {
 	ar, ac := a.nr, a.nc
 	if d.TranA {
 		ar, ac = ac, ar
@@ -95,7 +95,7 @@ func eWiseDims[A, B any](a *Matrix[A], b *Matrix[B], d descValues) (nr, nc int, 
 		br, bc = bc, br
 	}
 	if ar != br || ac != bc {
-		return 0, 0, ErrDimensionMismatch
+		return 0, 0, opErrorf(op, ErrDimensionMismatch, "A is %d×%d, B is %d×%d", ar, ac, br, bc)
 	}
 	return ar, ac, nil
 }
@@ -104,15 +104,15 @@ func eWiseDims[A, B any](a *Matrix[A], b *Matrix[B], d descValues) (nr, nc int, 
 // only one operand has an entry, that value passes through unchanged.
 func EWiseAddMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], a, b *Matrix[T], desc *Descriptor) error {
 	if c == nil || a == nil || b == nil || add == nil {
-		return ErrUninitialized
+		return opError("eWiseAdd", ErrUninitialized)
 	}
 	d := desc.get()
-	nr, nc, err := eWiseDims(a, b, d)
+	nr, nc, err := eWiseDims("eWiseAdd", a, b, d)
 	if err != nil {
 		return err
 	}
 	if c.nr != nr || c.nc != nc {
-		return ErrDimensionMismatch
+		return opErrorf("eWiseAdd", ErrDimensionMismatch, "C is %d×%d, want %d×%d", c.nr, c.nc, nr, nc)
 	}
 	ca := orientedCSR(a, d.TranA)
 	cb := orientedCSR(b, d.TranB)
@@ -127,15 +127,15 @@ func EWiseAddMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T
 // patterns.
 func EWiseMultMatrix[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], mul BinaryOp[A, B, T], a *Matrix[A], b *Matrix[B], desc *Descriptor) error {
 	if c == nil || a == nil || b == nil || mul == nil {
-		return ErrUninitialized
+		return opError("eWiseMult", ErrUninitialized)
 	}
 	d := desc.get()
-	nr, nc, err := eWiseDims(a, b, d)
+	nr, nc, err := eWiseDims("eWiseMult", a, b, d)
 	if err != nil {
 		return err
 	}
 	if c.nr != nr || c.nc != nc {
-		return ErrDimensionMismatch
+		return opErrorf("eWiseMult", ErrDimensionMismatch, "C is %d×%d, want %d×%d", c.nr, c.nc, nr, nc)
 	}
 	ca := orientedCSR(a, d.TranA)
 	cb := orientedCSR(b, d.TranB)
@@ -183,15 +183,15 @@ func ewiseCS2[A, B, T any](ca *cs[A], cb *cs[B], nr, nc int, merge func(ai []int
 // applied at every union position.
 func EWiseUnionMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], a *Matrix[T], alpha T, b *Matrix[T], beta T, desc *Descriptor) error {
 	if c == nil || a == nil || b == nil || add == nil {
-		return ErrUninitialized
+		return opError("eWiseUnion", ErrUninitialized)
 	}
 	d := desc.get()
-	nr, nc, err := eWiseDims(a, b, d)
+	nr, nc, err := eWiseDims("eWiseUnion", a, b, d)
 	if err != nil {
 		return err
 	}
 	if c.nr != nr || c.nc != nc {
-		return ErrDimensionMismatch
+		return opErrorf("eWiseUnion", ErrDimensionMismatch, "C is %d×%d, want %d×%d", c.nr, c.nc, nr, nc)
 	}
 	ca := orientedCSR(a, d.TranA)
 	cb := orientedCSR(b, d.TranB)
@@ -208,10 +208,10 @@ func EWiseUnionMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T,
 // operands.
 func EWiseUnionVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], u *Vector[T], alpha T, v *Vector[T], beta T, desc *Descriptor) error {
 	if w == nil || u == nil || v == nil || add == nil {
-		return ErrUninitialized
+		return opError("eWiseUnion", ErrUninitialized)
 	}
 	if u.n != v.n || w.n != u.n {
-		return ErrDimensionMismatch
+		return opErrorf("eWiseUnion", ErrDimensionMismatch, "w is %d, u is %d, v is %d", w.n, u.n, v.n)
 	}
 	d := desc.get()
 	ui, ux := u.materialized()
@@ -228,10 +228,10 @@ func EWiseUnionVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T,
 // EWiseAddVector computes w⟨m⟩ ⊙= u ⊕ v over the union of patterns.
 func EWiseAddVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], add BinaryOp[T, T, T], u, v *Vector[T], desc *Descriptor) error {
 	if w == nil || u == nil || v == nil || add == nil {
-		return ErrUninitialized
+		return opError("eWiseAdd", ErrUninitialized)
 	}
 	if u.n != v.n || w.n != u.n {
-		return ErrDimensionMismatch
+		return opErrorf("eWiseAdd", ErrDimensionMismatch, "w is %d, u is %d, v is %d", w.n, u.n, v.n)
 	}
 	d := desc.get()
 	ui, ux := u.materialized()
@@ -247,10 +247,10 @@ func EWiseAddVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T
 // patterns.
 func EWiseMultVector[A, B, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], mul BinaryOp[A, B, T], u *Vector[A], v *Vector[B], desc *Descriptor) error {
 	if w == nil || u == nil || v == nil || mul == nil {
-		return ErrUninitialized
+		return opError("eWiseMult", ErrUninitialized)
 	}
 	if u.n != v.n || w.n != u.n {
-		return ErrDimensionMismatch
+		return opErrorf("eWiseMult", ErrDimensionMismatch, "w is %d, u is %d, v is %d", w.n, u.n, v.n)
 	}
 	d := desc.get()
 	ui, ux := u.materialized()

@@ -10,10 +10,10 @@ var All []int = nil
 
 // resolveIndices returns the index list, expanding All to 0..n-1 (lazily:
 // a nil return means identity of length n).
-func checkIndices(idx []int, n int) error {
+func checkIndices(op string, idx []int, n int) error {
 	for _, i := range idx {
 		if i < 0 || i >= n {
-			return ErrIndexOutOfBounds
+			return opErrorf(op, ErrIndexOutOfBounds, "index %d, bound %d", i, n)
 		}
 	}
 	return nil
@@ -23,17 +23,17 @@ func checkIndices(idx []int, n int) error {
 // J means all rows/columns. Duplicate indices are permitted.
 func ExtractMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], a *Matrix[T], rows, cols []int, desc *Descriptor) error {
 	if c == nil || a == nil {
-		return ErrUninitialized
+		return opError("extract", ErrUninitialized)
 	}
 	d := desc.get()
 	ar, ac := a.nr, a.nc
 	if d.TranA {
 		ar, ac = ac, ar
 	}
-	if err := checkIndices(rows, ar); err != nil {
+	if err := checkIndices("extract", rows, ar); err != nil {
 		return err
 	}
-	if err := checkIndices(cols, ac); err != nil {
+	if err := checkIndices("extract", cols, ac); err != nil {
 		return err
 	}
 	onr, onc := len(rows), len(cols)
@@ -44,7 +44,7 @@ func ExtractMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T,
 		onc = ac
 	}
 	if c.nr != onr || c.nc != onc {
-		return ErrDimensionMismatch
+		return opErrorf("extract", ErrDimensionMismatch, "C is %d×%d, region is %d×%d", c.nr, c.nc, onr, onc)
 	}
 	ca := orientedCSR(a, d.TranA)
 
@@ -97,9 +97,9 @@ func ExtractMatrix[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T,
 // ExtractVector computes w⟨m⟩ ⊙= u(I).
 func ExtractVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], u *Vector[T], idx []int, desc *Descriptor) error {
 	if w == nil || u == nil {
-		return ErrUninitialized
+		return opError("extract", ErrUninitialized)
 	}
-	if err := checkIndices(idx, u.n); err != nil {
+	if err := checkIndices("extract", idx, u.n); err != nil {
 		return err
 	}
 	on := len(idx)
@@ -107,7 +107,7 @@ func ExtractVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T,
 		on = u.n
 	}
 	if w.n != on {
-		return ErrDimensionMismatch
+		return opErrorf("extract", ErrDimensionMismatch, "w is %d, region is %d", w.n, on)
 	}
 	d := desc.get()
 	ui, ux := u.materialized()
@@ -141,7 +141,7 @@ func ExtractVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T,
 // with TranA).
 func ExtractMatrixCol[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], a *Matrix[T], rows []int, j int, desc *Descriptor) error {
 	if w == nil || a == nil {
-		return ErrUninitialized
+		return opError("extract", ErrUninitialized)
 	}
 	d := desc.get()
 	// Column extraction reads A in column-major order; with TranA it is a
@@ -156,9 +156,9 @@ func ExtractMatrixCol[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T,
 		dim = a.nr
 	}
 	if j < 0 || j >= col.nmajor {
-		return ErrIndexOutOfBounds
+		return opErrorf("extract", ErrIndexOutOfBounds, "column %d, bound %d", j, col.nmajor)
 	}
-	if err := checkIndices(rows, dim); err != nil {
+	if err := checkIndices("extract", rows, dim); err != nil {
 		return err
 	}
 	on := len(rows)
@@ -166,7 +166,7 @@ func ExtractMatrixCol[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T,
 		on = dim
 	}
 	if w.n != on {
-		return ErrDimensionMismatch
+		return opErrorf("extract", ErrDimensionMismatch, "w is %d, region is %d", w.n, on)
 	}
 	ci, cx := rowView(col, j)
 	var zi []int

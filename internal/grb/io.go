@@ -33,7 +33,7 @@ func (a *Matrix[T]) ExtractTuples() (is, js []int, xs []T) {
 // trusted=true to skip it and make the import truly O(1).
 func ImportCSR[T any](nrows, ncols int, p, i []int, x []T, trusted bool) (*Matrix[T], error) {
 	if nrows < 0 || ncols < 0 || len(p) != nrows+1 || len(i) != len(x) {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("import", ErrInvalidValue, "CSR shape: dims %d×%d, len(p)=%d, %d indices, %d values", nrows, ncols, len(p), len(i), len(x))
 	}
 	if !trusted {
 		if err := validateCS(nrows, ncols, p, nil, i); err != nil {
@@ -50,7 +50,7 @@ func ImportCSR[T any](nrows, ncols int, p, i []int, x []T, trusted bool) (*Matri
 // non-empty rows ascending, p has length len(h)+1.
 func ImportHyperCSR[T any](nrows, ncols int, p, h, i []int, x []T, trusted bool) (*Matrix[T], error) {
 	if nrows < 0 || ncols < 0 || len(p) != len(h)+1 || len(i) != len(x) {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("import", ErrInvalidValue, "hyper-CSR shape: dims %d×%d, len(p)=%d, len(h)=%d, %d indices, %d values", nrows, ncols, len(p), len(h), len(i), len(x))
 	}
 	if !trusted {
 		if err := validateCS(nrows, ncols, p, h, i); err != nil {
@@ -70,7 +70,7 @@ func ImportHyperCSR[T any](nrows, ncols int, p, h, i []int, x []T, trusted bool)
 // column-cache so a subsequent ExportCSC is O(1).
 func ImportCSC[T any](nrows, ncols int, p, i []int, x []T, trusted bool) (*Matrix[T], error) {
 	if nrows < 0 || ncols < 0 || len(p) != ncols+1 || len(i) != len(x) {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("import", ErrInvalidValue, "CSC shape: dims %d×%d, len(p)=%d, %d indices, %d values", nrows, ncols, len(p), len(i), len(x))
 	}
 	if !trusted {
 		if err := validateCS(ncols, nrows, p, nil, i); err != nil {
@@ -127,16 +127,16 @@ func (a *Matrix[T]) ExportCSC() (nrows, ncols int, p, i []int, x []T) {
 // validateCS checks pointer monotonicity and sorted, in-range indices.
 func validateCS(nmajor, nminor int, p, h, i []int) error {
 	if len(p) == 0 || p[0] != 0 || p[len(p)-1] != len(i) {
-		return ErrInvalidValue
+		return opErrorf("import", ErrInvalidValue, "malformed pointer array")
 	}
 	for k := 0; k+1 < len(p); k++ {
 		if p[k+1] < p[k] {
-			return ErrInvalidValue
+			return opErrorf("import", ErrInvalidValue, "pointer array decreases at %d", k)
 		}
 		prev := -1
 		for t := p[k]; t < p[k+1]; t++ {
 			if i[t] <= prev || i[t] >= nminor {
-				return ErrInvalidValue
+				return opErrorf("import", ErrInvalidValue, "index %d out of order or out of range %d", i[t], nminor)
 			}
 			prev = i[t]
 		}
@@ -144,7 +144,7 @@ func validateCS(nmajor, nminor int, p, h, i []int) error {
 	prev := -1
 	for _, hj := range h {
 		if hj <= prev || hj >= nmajor {
-			return ErrInvalidValue
+			return opErrorf("import", ErrInvalidValue, "hyper list entry %d out of order or out of range %d", hj, nmajor)
 		}
 		prev = hj
 	}

@@ -25,7 +25,7 @@ func (a *Matrix[T]) Iterate(fn func(i, j int, x T) bool) {
 // IterateRow calls fn for every stored entry of row i, in column order.
 func (a *Matrix[T]) IterateRow(i int, fn func(j int, x T) bool) error {
 	if i < 0 || i >= a.nr {
-		return ErrIndexOutOfBounds
+		return opErrorf("iterateRow", ErrIndexOutOfBounds, "row %d, bound %d", i, a.nr)
 	}
 	a.Wait()
 	ci, cx := rowView(a.csr, i)
@@ -53,10 +53,10 @@ func (v *Vector[T]) Iterate(fn func(i int, x T) bool) {
 func InnerProduct[A, B, T any](s Semiring[A, B, T], u *Vector[A], v *Vector[B]) (result T, ok bool, err error) {
 	var zero T
 	if u == nil || v == nil || s.Add.Op == nil || s.Mul == nil {
-		return zero, false, ErrUninitialized
+		return zero, false, opError("innerProduct", ErrUninitialized)
 	}
 	if u.n != v.n {
-		return zero, false, ErrDimensionMismatch
+		return zero, false, opErrorf("innerProduct", ErrDimensionMismatch, "u is %d, v is %d", u.n, v.n)
 	}
 	ui, ux := u.materialized()
 	vi, vx := v.materialized()
@@ -103,12 +103,12 @@ func ExtractMatrixRow[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T,
 // of C (GrB_Row_assign). The mask is over the row.
 func AssignMatrixRow[T, M any](c *Matrix[T], mask *Vector[M], accum BinaryOp[T, T, T], u *Vector[T], i int, cols []int, desc *Descriptor) error {
 	if c == nil || u == nil {
-		return ErrUninitialized
+		return opError("assign", ErrUninitialized)
 	}
 	if i < 0 || i >= c.nr {
-		return ErrIndexOutOfBounds
+		return opErrorf("assign", ErrIndexOutOfBounds, "row %d, bound %d", i, c.nr)
 	}
-	if err := checkIndices(cols, c.nc); err != nil {
+	if err := checkIndices("assign", cols, c.nc); err != nil {
 		return err
 	}
 	un := len(cols)
@@ -116,10 +116,10 @@ func AssignMatrixRow[T, M any](c *Matrix[T], mask *Vector[M], accum BinaryOp[T, 
 		un = c.nc
 	}
 	if u.n != un {
-		return ErrDimensionMismatch
+		return opErrorf("assign", ErrDimensionMismatch, "u is %d, region is %d", u.n, un)
 	}
 	if mask != nil && mask.n != c.nc {
-		return ErrDimensionMismatch
+		return opErrorf("assign", ErrDimensionMismatch, "mask is %d, row width is %d", mask.n, c.nc)
 	}
 	d := desc.get()
 	mv := newMaskVec(mask, d)

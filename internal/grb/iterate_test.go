@@ -1,6 +1,9 @@
 package grb
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestMatrixIterate(t *testing.T) {
 	a := MustMatrix[int](3, 3)
@@ -46,7 +49,7 @@ func TestIterateRow(t *testing.T) {
 	if len(cols) != 2 || cols[0] != 0 || cols[1] != 3 {
 		t.Fatalf("cols=%v", cols)
 	}
-	if err := a.IterateRow(5, func(int, int) bool { return true }); err != ErrIndexOutOfBounds {
+	if err := a.IterateRow(5, func(int, int) bool { return true }); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Fatal("oob row")
 	}
 	// Empty row iterates nothing.
@@ -101,7 +104,7 @@ func TestInnerProduct(t *testing.T) {
 	}
 	// Dim mismatch.
 	bad := MustVector[int64](7)
-	if _, _, err := InnerProduct(PlusTimes[int64](), u, bad); err != ErrDimensionMismatch {
+	if _, _, err := InnerProduct(PlusTimes[int64](), u, bad); !errors.Is(err, ErrDimensionMismatch) {
 		t.Fatal("dims")
 	}
 }
@@ -191,10 +194,10 @@ func TestAssignMatrixRow(t *testing.T) {
 	}
 
 	// Errors.
-	if err := AssignMatrixRow[int64, bool](a, nil, nil, u, 7, nil, nil); err != ErrIndexOutOfBounds {
+	if err := AssignMatrixRow[int64, bool](a, nil, nil, u, 7, nil, nil); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Fatal("row oob")
 	}
-	if err := AssignMatrixRow[int64, bool](a, nil, nil, u2, 1, nil, nil); err != ErrDimensionMismatch {
+	if err := AssignMatrixRow[int64, bool](a, nil, nil, u2, 1, nil, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Fatal("dims")
 	}
 }

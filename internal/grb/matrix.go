@@ -3,6 +3,8 @@ package grb
 import (
 	"sort"
 	"sync"
+
+	"lagraph/internal/obs"
 )
 
 // Format selects the storage layout of a Matrix.
@@ -120,7 +122,7 @@ type Matrix[T any] struct {
 // NewMatrix creates an empty nrows-by-ncols matrix.
 func NewMatrix[T any](nrows, ncols int) (*Matrix[T], error) {
 	if nrows < 0 || ncols < 0 {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("newMatrix", ErrInvalidValue, "dims %d×%d", nrows, ncols)
 	}
 	return newMatrixRaw[T](nrows, ncols, FormatAuto), nil
 }
@@ -285,11 +287,33 @@ func (a *Matrix[T]) Pending() (tuples, zombies int) {
 }
 
 // Wait forces all pending work to complete: zombies are reclaimed and
-// pending tuples assembled in a single O(n + e + p log p) pass.
+// pending tuples assembled in a single O(n + e + p log p) pass. With an
+// observer installed, each non-trivial assembly emits an op record; the
+// no-pending early return stays allocation-free either way (it is on the
+// hot path of every whole-matrix operation).
 func (a *Matrix[T]) Wait() {
 	if a.nzomb == 0 && len(a.pend) == 0 {
 		return
 	}
+	ob := obs.Active()
+	if ob == nil {
+		a.assemble()
+		return
+	}
+	pending, zombies := len(a.pend), a.nzomb
+	t0 := ob.Now()
+	a.assemble()
+	ob.Op(obs.OpRecord{
+		Op: "wait", Kernel: "assemble",
+		Rows: a.nr, Cols: a.nc,
+		NnzOut:  a.csr.nvals(),
+		Pending: pending, Zombies: zombies,
+		DurNanos: ob.Now() - t0,
+	})
+}
+
+// assemble is Wait's worker: it must only run with pending work present.
+func (a *Matrix[T]) assemble() {
 	old := a.csr
 	pend := a.pend
 	op := a.pendOp
@@ -503,17 +527,17 @@ func hyperToStandard[T any](c *cs[T]) *cs[T] {
 // duplicates with dup (nil means duplicates are an error).
 func (a *Matrix[T]) Build(is, js []int, xs []T, dup BinaryOp[T, T, T]) error {
 	if len(is) != len(js) || len(is) != len(xs) {
-		return ErrInvalidValue
+		return opErrorf("build", ErrInvalidValue, "tuple slices have lengths %d, %d, %d", len(is), len(js), len(xs))
 	}
 	for k := range is {
 		if is[k] < 0 || is[k] >= a.nr || js[k] < 0 || js[k] >= a.nc {
-			return ErrIndexOutOfBounds
+			return opErrorf("build", ErrIndexOutOfBounds, "tuple (%d,%d), matrix is %d×%d", is[k], js[k], a.nr, a.nc)
 		}
 	}
 	// Build requires an empty matrix; staleness is unobservable because the
 	// stored-entry read is paired with the pending-buffer check.
 	if a.csr.nvals() != 0 || len(a.pend) > 0 { //grblint:ignore pending-tuples read paired with pend check
-		return ErrInvalidValue
+		return opErrorf("build", ErrInvalidValue, "matrix is not empty")
 	}
 	c, err := assembleCS(a.nr, a.nc, is, js, xs, dup)
 	if err != nil {

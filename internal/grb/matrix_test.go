@@ -1,16 +1,17 @@
 package grb
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
 func TestNewMatrixValidation(t *testing.T) {
-	if _, err := NewMatrix[int](-1, 3); err != ErrInvalidValue {
+	if _, err := NewMatrix[int](-1, 3); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("want ErrInvalidValue, got %v", err)
 	}
-	if _, err := NewMatrix[int](3, -1); err != ErrInvalidValue {
+	if _, err := NewMatrix[int](3, -1); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("want ErrInvalidValue, got %v", err)
 	}
 	a, err := NewMatrix[int](0, 0)
@@ -24,17 +25,17 @@ func TestSetGetRemoveElement(t *testing.T) {
 	if err := a.SetElement(2, 3, 4.5); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.SetElement(5, 0, 1); err != ErrIndexOutOfBounds {
+	if err := a.SetElement(5, 0, 1); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Fatalf("want ErrIndexOutOfBounds, got %v", err)
 	}
-	if err := a.SetElement(0, 7, 1); err != ErrIndexOutOfBounds {
+	if err := a.SetElement(0, 7, 1); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Fatalf("want ErrIndexOutOfBounds, got %v", err)
 	}
 	v, err := a.GetElement(2, 3)
 	if err != nil || v != 4.5 {
 		t.Fatalf("got (%v,%v) want (4.5,nil)", v, err)
 	}
-	if _, err := a.GetElement(0, 0); err != ErrNoValue {
+	if _, err := a.GetElement(0, 0); !errors.Is(err, ErrNoValue) {
 		t.Fatalf("want ErrNoValue, got %v", err)
 	}
 	// Overwrite keeps a single entry.
@@ -78,7 +79,7 @@ func TestPendingTuplesAndZombies(t *testing.T) {
 	if zomb != 1 {
 		t.Fatalf("zombies=%d want 1", zomb)
 	}
-	if _, err := a.GetElement(0, 0); err != ErrNoValue {
+	if _, err := a.GetElement(0, 0); !errors.Is(err, ErrNoValue) {
 		t.Fatalf("zombie should read as missing, got %v", err)
 	}
 	// Resurrection: set after remove.
@@ -127,13 +128,13 @@ func TestSetElementMatchesBuild(t *testing.T) {
 
 func TestBuildErrors(t *testing.T) {
 	a := MustMatrix[int](4, 4)
-	if err := a.Build([]int{0}, []int{0, 1}, []int{1}, nil); err != ErrInvalidValue {
+	if err := a.Build([]int{0}, []int{0, 1}, []int{1}, nil); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("length mismatch: %v", err)
 	}
-	if err := a.Build([]int{9}, []int{0}, []int{1}, nil); err != ErrIndexOutOfBounds {
+	if err := a.Build([]int{9}, []int{0}, []int{1}, nil); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Fatalf("oob: %v", err)
 	}
-	if err := a.Build([]int{0, 0}, []int{0, 0}, []int{1, 2}, nil); err != ErrInvalidValue {
+	if err := a.Build([]int{0, 0}, []int{0, 0}, []int{1, 2}, nil); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("dup without op: %v", err)
 	}
 	if err := a.Build([]int{0, 0}, []int{0, 0}, []int{1, 2}, Plus[int]()); err != nil {
@@ -143,7 +144,7 @@ func TestBuildErrors(t *testing.T) {
 		t.Fatalf("dup sum: got %d want 3", v)
 	}
 	// Build on a non-empty matrix fails.
-	if err := a.Build([]int{1}, []int{1}, []int{1}, nil); err != ErrInvalidValue {
+	if err := a.Build([]int{1}, []int{1}, []int{1}, nil); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("non-empty build: %v", err)
 	}
 }
@@ -194,13 +195,13 @@ func TestImportExportRoundTrip(t *testing.T) {
 }
 
 func TestImportValidation(t *testing.T) {
-	if _, err := ImportCSR(2, 2, []int{0, 1}, []int{0}, []int{1}, false); err != ErrInvalidValue {
+	if _, err := ImportCSR(2, 2, []int{0, 1}, []int{0}, []int{1}, false); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("short p: %v", err)
 	}
-	if _, err := ImportCSR(2, 2, []int{0, 1, 1}, []int{5}, []int{1}, false); err != ErrInvalidValue {
+	if _, err := ImportCSR(2, 2, []int{0, 1, 1}, []int{5}, []int{1}, false); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("oob index: %v", err)
 	}
-	if _, err := ImportCSR(2, 2, []int{0, 2, 2}, []int{1, 0}, []int{1, 2}, false); err != ErrInvalidValue {
+	if _, err := ImportCSR(2, 2, []int{0, 2, 2}, []int{1, 0}, []int{1, 2}, false); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("unsorted row: %v", err)
 	}
 }

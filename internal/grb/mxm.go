@@ -1,5 +1,7 @@
 package grb
 
+import "lagraph/internal/obs"
+
 // MxM: C⟨M⟩ ⊙= A ⊕.⊗ B, with the three kernel families of §II-A:
 //
 //   - Gustavson's method: row-wise saxpy with a dense accumulator; the
@@ -15,7 +17,7 @@ package grb
 // MxM computes C⟨M⟩ ⊙= A ⊕.⊗ B.
 func MxM[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], s Semiring[A, B, T], a *Matrix[A], b *Matrix[B], desc *Descriptor) error {
 	if c == nil || a == nil || b == nil || s.Add.Op == nil || s.Mul == nil {
-		return ErrUninitialized
+		return opError("mxm", ErrUninitialized)
 	}
 	d := desc.get()
 	ar, ac := a.nr, a.nc
@@ -27,13 +29,13 @@ func MxM[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T],
 		br, bc = bc, br
 	}
 	if ac != br {
-		return ErrDimensionMismatch
+		return opErrorf("mxm", ErrDimensionMismatch, "A is %d×%d, B is %d×%d", ar, ac, br, bc)
 	}
 	if c.nr != ar || c.nc != bc {
-		return ErrDimensionMismatch
+		return opErrorf("mxm", ErrDimensionMismatch, "C is %d×%d, A·B is %d×%d", c.nr, c.nc, ar, bc)
 	}
 	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
-		return ErrDimensionMismatch
+		return opErrorf("mxm", ErrDimensionMismatch, "mask is %d×%d, C is %d×%d", mask.nr, mask.nc, c.nr, c.nc)
 	}
 
 	ca := orientedCSR(a, d.TranA)
@@ -44,19 +46,57 @@ func MxM[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T],
 		method = chooseMxM(ca, mm, ar, bc)
 	}
 
+	// Observation guard: one atomic load; st stays nil (and the kernels
+	// record nothing) when no observer is installed.
+	ob := obs.Active()
+	var st *kernelStats
+	var t0 int64
+	if ob != nil {
+		st = new(kernelStats)
+		t0 = ob.Now()
+	}
+
 	var z *cs[T]
+	var kernel string
+	var nnzB int
 	switch method {
 	case MxMDot:
 		cbT := orientedCSC(b, d.TranB)
-		z = mxmDot(ca, cbT, s, mm, ar, bc)
+		nnzB = cbT.nvals()
+		z = mxmDot(ca, cbT, s, mm, ar, bc, st)
+		kernel = "dot"
 	case MxMHeap:
 		cb := orientedCSR(b, d.TranB)
-		z = mxmHeap(ca, cb, s, mm, ar, bc)
+		nnzB = cb.nvals()
+		z = mxmHeap(ca, cb, s, mm, ar, bc, st)
+		kernel = "heap"
 	default:
 		cb := orientedCSR(b, d.TranB)
-		z = mxmGustavson(ca, cb, s, mm, ar, bc)
+		nnzB = cb.nvals()
+		z = mxmGustavson(ca, cb, s, mm, ar, bc, st)
+		kernel = "gustavson"
 	}
-	return writeMatrixResult(c, mask, accum, z, d)
+	err := writeMatrixResult(c, mask, accum, z, d)
+	if ob != nil && err == nil {
+		// The saxpy-family estimate pads each stored A row by one; the
+		// exact multiply count is the estimate minus that padding. Dot
+		// rows exit early on terminal monoids, so their actual work is
+		// unknowable without per-iteration counting — reported as 0.
+		var act int64
+		if kernel != "dot" {
+			act = st.estFlops - int64(ca.nvecs())
+		}
+		ob.Op(obs.OpRecord{
+			Op: "mxm", Kernel: kernel,
+			Rows: ar, Cols: bc,
+			NnzA: ca.nvals(), NnzB: nnzB, NnzOut: z.nvals(),
+			Masked:   mask != nil,
+			EstFlops: st.estFlops, ActFlops: act,
+			Chunks: st.chunks, MaxChunkFlops: st.maxChunkFlops,
+			DurNanos: ob.Now() - t0,
+		})
+	}
+	return err
 }
 
 // orientedCSC returns the column-major view of the effective operand: for
@@ -107,11 +147,11 @@ func saxpyFlops[A, B any](ca *cs[A], cb *cs[B], k int) int {
 // mxmGustavson computes Z = A·B row-wise with a dense accumulator, rows
 // partitioned at equal-flop boundaries and dynamically scheduled so hub
 // rows don't serialize the kernel.
-func mxmGustavson[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
+func mxmGustavson[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int, st *kernelStats) *cs[T] {
 	nvec := ca.nvecs()
 	staging := newRowSlices[T](nvec)
 	flops := func(k int) int { return saxpyFlops(ca, cb, k) }
-	parallelWork(nvec, mxmWorkQuantum, flops, func(lo, hi int) {
+	parallelWorkObs(nvec, mxmWorkQuantum, flops, st, func(lo, hi int) {
 		val := make([]T, nc)
 		seen := make([]bool, nc)
 		var touched []int
@@ -181,7 +221,7 @@ func stitchByA[A, T any](staging *rowSlices[T], ca *cs[A], nr, nc int) *cs[T] {
 // mxmDot computes Z = A·B with dot products, iterating only positions
 // admitted by the mask when one is present (and not complemented). cbT is
 // the column-major view of B, i.e. rows of Bᵀ.
-func mxmDot[A, B, T any](ca *cs[A], cbT *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
+func mxmDot[A, B, T any](ca *cs[A], cbT *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int, st *kernelStats) *cs[T] {
 	nvec := ca.nvecs()
 	staging := newRowSlices[T](nvec)
 	useMaskPattern := mm != nil && !mm.comp
@@ -199,7 +239,7 @@ func mxmDot[A, B, T any](ca *cs[A], cbT *cs[B], s Semiring[A, B, T], mm *maskMat
 		}
 		return 1 + outs*(len(ai)+1)
 	}
-	parallelWork(nvec, mxmWorkQuantum, flops, func(lo, hi int) {
+	parallelWorkObs(nvec, mxmWorkQuantum, flops, st, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			ai, ax := ca.vec(k)
 			if len(ai) == 0 {
@@ -287,11 +327,11 @@ type heapEntry[B any] struct {
 // of B with a binary heap keyed on column index. Memory per worker is
 // O(row degree of A), never O(ncols) — the property that matters for
 // hypersparse outputs.
-func mxmHeap[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int) *cs[T] {
+func mxmHeap[A, B, T any](ca *cs[A], cb *cs[B], s Semiring[A, B, T], mm *maskMat, nr, nc int, st *kernelStats) *cs[T] {
 	nvec := ca.nvecs()
 	staging := newRowSlices[T](nvec)
 	flops := func(k int) int { return saxpyFlops(ca, cb, k) }
-	parallelWork(nvec, mxmWorkQuantum, flops, func(lo, hi int) {
+	parallelWorkObs(nvec, mxmWorkQuantum, flops, st, func(lo, hi int) {
 		var heap []heapEntry[B]
 		for k := lo; k < hi; k++ {
 			ai, ax := ca.vec(k)
@@ -378,7 +418,7 @@ func siftDown[B any](h []heapEntry[B], i int) {
 // API): C(ia·nbr+ib, ja·nbc+jb) = mul(A(ia,ja), B(ib,jb)).
 func Kronecker[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], mul BinaryOp[A, B, T], a *Matrix[A], b *Matrix[B], desc *Descriptor) error {
 	if c == nil || a == nil || b == nil || mul == nil {
-		return ErrUninitialized
+		return opError("kronecker", ErrUninitialized)
 	}
 	d := desc.get()
 	ca := orientedCSR(a, d.TranA)
@@ -386,7 +426,7 @@ func Kronecker[A, B, T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, 
 	nbr, nbc := cb.nmajor, cb.nminor
 	nr, nc := ca.nmajor*nbr, ca.nminor*nbc
 	if c.nr != nr || c.nc != nc {
-		return ErrDimensionMismatch
+		return opErrorf("kronecker", ErrDimensionMismatch, "C is %d×%d, want %d×%d", c.nr, c.nc, nr, nc)
 	}
 	return writeMatrixResult(c, mask, accum, kroneckerCS(ca, cb, mul, nr, nc), d)
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"lagraph/internal/obs"
 )
 
 // MxV / VxM with the push–pull direction optimization of §II-E
@@ -16,18 +18,42 @@ import (
 // VxM computes w⟨m⟩ ⊙= uᵀ ⊕.⊗ A (row vector times matrix).
 func VxM[A, U, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], s Semiring[U, A, T], u *Vector[U], a *Matrix[A], desc *Descriptor) error {
 	if w == nil || u == nil || a == nil || s.Add.Op == nil || s.Mul == nil {
-		return ErrUninitialized
+		return opError("vxm", ErrUninitialized)
+	}
+	return vxmImpl("vxm", w, mask, accum, s, u, a, desc.get())
+}
+
+// MxV computes w⟨m⟩ ⊙= A ⊕.⊗ u. It is VxM against the transposed
+// operand, with the multiplier's argument order swapped — both run
+// through vxmImpl so the shared core reports the caller's own op name in
+// errors and op records instead of pretending everything is a vxm.
+func MxV[A, U, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], s Semiring[A, U, T], a *Matrix[A], u *Vector[U], desc *Descriptor) error {
+	if w == nil || u == nil || a == nil || s.Add.Op == nil || s.Mul == nil {
+		return opError("mxv", ErrUninitialized)
+	}
+	swapped := Semiring[U, A, T]{
+		Add: s.Add,
+		Mul: func(x U, y A) T { return s.Mul(y, x) },
 	}
 	d := desc.get()
+	d.TranA = !d.TranA
+	return vxmImpl("mxv", w, mask, accum, swapped, u, a, d)
+}
+
+// vxmImpl is the direction-optimized sparse matrix–vector core behind
+// VxM and MxV. op names the public entry point for error wrapping and
+// observation; d carries resolved descriptor values (MxV arrives with
+// TranA already flipped).
+func vxmImpl[A, U, T, M any](op string, w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], s Semiring[U, A, T], u *Vector[U], a *Matrix[A], d descValues) error {
 	ar, ac := a.nr, a.nc
 	if d.TranA {
 		ar, ac = ac, ar
 	}
 	if u.n != ar || w.n != ac {
-		return ErrDimensionMismatch
+		return opErrorf(op, ErrDimensionMismatch, "u is %d, A is %d×%d, w is %d", u.n, ar, ac, w.n)
 	}
 	if mask != nil && mask.n != w.n {
-		return ErrDimensionMismatch
+		return opErrorf(op, ErrDimensionMismatch, "mask is %d, w is %d", mask.n, w.n)
 	}
 	mv := newMaskVec(mask, d)
 
@@ -36,40 +62,56 @@ func VxM[A, U, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T],
 		dir = chooseDirection(u, a, d, mv, ac)
 	}
 
+	// Observation guard: one atomic load; st stays nil (and the kernels
+	// record nothing) when no observer is installed.
+	ob := obs.Active()
+	var st *kernelStats
+	var t0 int64
+	var nnzU int
+	if ob != nil {
+		st = new(kernelStats)
+		t0 = ob.Now()
+		nnzU = u.Nvals()
+	}
+
 	var zi []int
 	var zx []T
+	var nnzA int
+	kernel := "push"
 	if dir == DirPull {
 		// Pull: dot products over output positions; needs the effective
 		// matrix in column-major order (columns of A = rows of Aᵀ).
 		caT := orientedCSC(a, d.TranA)
-		zi, zx = vxmPull(u, caT, s, mv, ac)
+		nnzA = caT.nvals()
+		zi, zx = vxmPull(u, caT, s, mv, ac, st)
+		kernel = "pull"
 	} else {
 		ca := orientedCSR(a, d.TranA)
-		zi, zx = vxmPush(u, ca, s, mv, ac)
+		nnzA = ca.nvals()
+		zi, zx = vxmPush(u, ca, s, mv, ac, st)
 	}
-	return writeVectorResult(w, mask, accum, zi, zx, d)
-}
-
-// MxV computes w⟨m⟩ ⊙= A ⊕.⊗ u. It is VxM against the transposed
-// operand, with the multiplier's argument order swapped.
-func MxV[A, U, T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], s Semiring[A, U, T], a *Matrix[A], u *Vector[U], desc *Descriptor) error {
-	if w == nil || u == nil || a == nil || s.Add.Op == nil || s.Mul == nil {
-		return ErrUninitialized
+	nnzOut := len(zi)
+	err := writeVectorResult(w, mask, accum, zi, zx, d)
+	if ob != nil && err == nil {
+		// Push work estimates pad each frontier entry by one, so the
+		// exact multiply count is recoverable; pull rows exit early on
+		// terminal monoids, so their actual work is reported as 0
+		// (unknown) rather than paid for with per-iteration counting.
+		var act int64
+		if kernel == "push" {
+			act = st.estFlops - int64(nnzU)
+		}
+		ob.Op(obs.OpRecord{
+			Op: op, Kernel: kernel,
+			Rows: ar, Cols: ac,
+			NnzA: nnzA, NnzB: nnzU, NnzOut: nnzOut,
+			Masked:   mask != nil,
+			EstFlops: st.estFlops, ActFlops: act,
+			Chunks: st.chunks, MaxChunkFlops: st.maxChunkFlops,
+			DurNanos: ob.Now() - t0,
+		})
 	}
-	d := desc.get()
-	swapped := Semiring[U, A, T]{
-		Add: s.Add,
-		Mul: func(x U, y A) T { return s.Mul(y, x) },
-	}
-	d2 := d
-	d2.TranA = !d.TranA
-	// Rebuild a Descriptor carrying the resolved values.
-	nd := &Descriptor{
-		TranA: d2.TranA, Replace: d2.Replace, Comp: d2.Comp,
-		MaskValue: d2.MaskValue, Method: d2.Method, Dir: d2.Dir,
-		PushPullRatio: d2.PushPullRatio,
-	}
-	return VxM(w, mask, accum, swapped, u, a, nd)
+	return err
 }
 
 // chooseDirection implements the GraphBLAST switch: pull when the input
@@ -111,7 +153,7 @@ type sparsePart[T any] struct {
 // hypersparse regime. Large frontiers are split into flop-balanced chunks
 // scattered concurrently (each worker reusing one accumulator) and merged
 // with a k-way pass.
-func vxmPush[A, U, T any](u *Vector[U], ca *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int) ([]int, []T) {
+func vxmPush[A, U, T any](u *Vector[U], ca *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int, st *kernelStats) ([]int, []T) {
 	ui, ux := u.materialized()
 	useHash := outDim >= hyperThresholdDim*hyperRatio
 	deg := func(t int) int {
@@ -123,6 +165,9 @@ func vxmPush[A, U, T any](u *Vector[U], ca *cs[A], s Semiring[U, A, T], mv *mask
 	}
 	bounds := workChunks(len(ui), deg, pushWorkQuantum, pushMaxChunks)
 	nchunks := len(bounds) - 1
+	if st != nil {
+		st.fill(bounds, deg) // read-only: never perturbs the bounds
+	}
 
 	parts := make([]sparsePart[T], nchunks)
 	if nchunks <= 1 {
@@ -308,7 +353,7 @@ const pullWorkQuantum = 1 << 12
 // per column and compacted in order, so results are independent of the
 // partitioning; columns are partitioned at equal-degree boundaries (hub
 // columns of a power-law graph otherwise serialize the sweep).
-func vxmPull[A, U, T any](u *Vector[U], caT *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int) ([]int, []T) {
+func vxmPull[A, U, T any](u *Vector[U], caT *cs[A], s Semiring[U, A, T], mv *maskVec, outDim int, st *kernelStats) ([]int, []T) {
 	ud, uok := u.dense()
 
 	// The admitted output set.
@@ -374,7 +419,7 @@ func vxmPull[A, U, T any](u *Vector[U], caT *cs[A], s Semiring[U, A, T], mv *mas
 	}
 	vals := make([]T, n)
 	found := make([]bool, n)
-	parallelWork(n, pullWorkQuantum, weight, func(lo, hi int) {
+	parallelWorkObs(n, pullWorkQuantum, weight, st, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			if v, ok := dotCol(colOf(t)); ok {
 				vals[t] = v

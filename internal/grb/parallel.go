@@ -184,6 +184,67 @@ func parallelWork(n, quantum int, weight func(k int) int, fn func(lo, hi int)) {
 	runChunks(bounds, func(_, lo, hi int) { fn(lo, hi) })
 }
 
+// kernelStats is the scheduler's contribution to an op record: how much
+// estimated work the kernel carried and how it was partitioned. A nil
+// *kernelStats means observation is disabled and must cost nothing; a
+// non-nil one is filled from the same (weights, quantum, maxChunks)
+// arguments the partitioner saw, so recording never changes chunk
+// boundaries — and therefore never changes results (the chunk-order
+// merges fix the reduction association).
+type kernelStats struct {
+	estFlops      int64 // total estimated weight across all chunks
+	chunks        int   // number of chunks the partitioner produced
+	maxChunkFlops int64 // heaviest chunk's estimated weight
+}
+
+// fill computes per-chunk weight sums for bounds. It re-walks the weight
+// function (an extra O(n) on the traced path only) rather than threading
+// state through workChunks, keeping the untraced partitioner untouched.
+func (st *kernelStats) fill(bounds []int, weight func(k int) int) {
+	st.chunks += len(bounds) - 1
+	for c := 0; c < len(bounds)-1; c++ {
+		var sum int64
+		for k := bounds[c]; k < bounds[c+1]; k++ {
+			w := weight(k)
+			if w < 0 {
+				w = 0 // mirror workChunks's clamp
+			}
+			sum += int64(w)
+		}
+		st.estFlops += sum
+		if sum > st.maxChunkFlops {
+			st.maxChunkFlops = sum
+		}
+	}
+}
+
+// parallelWorkObs is parallelWork plus optional observation: with st nil
+// it is exactly parallelWork (same branches, same bounds, no extra work);
+// with st non-nil it additionally fills st from the partition it runs.
+func parallelWorkObs(n, quantum int, weight func(k int) int, st *kernelStats, fn func(lo, hi int)) {
+	if st == nil {
+		parallelWork(n, quantum, weight, fn)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	w := workers()
+	if w <= 1 {
+		st.fill([]int{0, n}, weight)
+		fn(0, n)
+		return
+	}
+	bounds := workChunks(n, weight, quantum, w*workOversubscribe)
+	if len(bounds) <= 2 {
+		st.fill([]int{0, n}, weight)
+		fn(0, n)
+		return
+	}
+	st.fill(bounds, weight)
+	runChunks(bounds, func(_, lo, hi int) { fn(lo, hi) })
+}
+
 // parallelSortThreshold is the slice length below which parallelSortPerm
 // sorts serially; goroutine and merge overhead dominate under it.
 const parallelSortThreshold = 1 << 13

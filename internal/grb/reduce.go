@@ -9,7 +9,7 @@ package grb
 // TranA).
 func ReduceMatrixToVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], mon Monoid[T], a *Matrix[T], desc *Descriptor) error {
 	if w == nil || a == nil || mon.Op == nil {
-		return ErrUninitialized
+		return opError("reduce", ErrUninitialized)
 	}
 	d := desc.get()
 	ar := a.nr
@@ -17,7 +17,7 @@ func ReduceMatrixToVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryO
 		ar = a.nc
 	}
 	if w.n != ar {
-		return ErrDimensionMismatch
+		return opErrorf("reduce", ErrDimensionMismatch, "w is %d, A has %d rows", w.n, ar)
 	}
 	ca := orientedCSR(a, d.TranA)
 	nvec := ca.nvecs()
@@ -58,7 +58,7 @@ func ReduceMatrixToVector[T, M any](w *Vector[T], mask *Vector[M], accum BinaryO
 func ReduceMatrixToScalar[T any](mon Monoid[T], a *Matrix[T]) (T, error) {
 	var zero T
 	if a == nil || mon.Op == nil {
-		return zero, ErrUninitialized
+		return zero, opError("reduce", ErrUninitialized)
 	}
 	c := a.materializedCSR()
 	n := len(c.x)
@@ -94,7 +94,7 @@ func ReduceMatrixToScalar[T any](mon Monoid[T], a *Matrix[T]) (T, error) {
 func ReduceVectorToScalar[T any](mon Monoid[T], u *Vector[T]) (T, error) {
 	var zero T
 	if u == nil || mon.Op == nil {
-		return zero, ErrUninitialized
+		return zero, opError("reduce", ErrUninitialized)
 	}
 	_, ux := u.materialized()
 	acc := mon.Identity

@@ -34,7 +34,7 @@ type vectorWire[T any] struct {
 // SerializeMatrix writes a compact binary image of the matrix.
 func SerializeMatrix[T any](w io.Writer, a *Matrix[T]) error {
 	if a == nil {
-		return ErrUninitialized
+		return opError("serialize", ErrUninitialized)
 	}
 	a.Wait()
 	c := a.csr
@@ -57,7 +57,7 @@ func DeserializeMatrix[T any](r io.Reader) (*Matrix[T], error) {
 		return nil, fmt.Errorf("grb: deserialize: unsupported version %d", img.Version)
 	}
 	if img.NRows < 0 || img.NCols < 0 {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("deserialize", ErrInvalidValue, "dims %d×%d", img.NRows, img.NCols)
 	}
 	if img.Hyper {
 		return ImportHyperCSR(img.NRows, img.NCols, img.P, img.H, img.I, img.X, false)
@@ -78,7 +78,7 @@ func DeserializeMatrix[T any](r io.Reader) (*Matrix[T], error) {
 // SerializeVector writes a compact binary image of the vector.
 func SerializeVector[T any](w io.Writer, v *Vector[T]) error {
 	if v == nil {
-		return ErrUninitialized
+		return opError("serialize", ErrUninitialized)
 	}
 	v.Wait()
 	img := vectorWire[T]{Version: serialVersion, N: v.n, Idx: v.idx, X: v.x}

@@ -2,6 +2,7 @@ package grb
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -113,7 +114,7 @@ func TestDeserializeGarbage(t *testing.T) {
 	if _, err := DeserializeVector[int](bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty must fail")
 	}
-	if err := SerializeMatrix[int](&bytes.Buffer{}, nil); err != ErrUninitialized {
+	if err := SerializeMatrix[int](&bytes.Buffer{}, nil); !errors.Is(err, ErrUninitialized) {
 		t.Fatal("nil matrix")
 	}
 }

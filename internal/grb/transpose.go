@@ -146,7 +146,7 @@ func transposeCSBySort[T any](c *cs[T]) *cs[T] {
 // accumulator and default descriptor it is a plain transpose.
 func Transpose[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], a *Matrix[T], desc *Descriptor) error {
 	if c == nil || a == nil {
-		return ErrUninitialized
+		return opError("transpose", ErrUninitialized)
 	}
 	d := desc.get()
 	ar, ac := a.nr, a.nc
@@ -154,7 +154,7 @@ func Transpose[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T],
 		ar, ac = ac, ar
 	}
 	if c.nr != ac || c.nc != ar {
-		return ErrDimensionMismatch
+		return opErrorf("transpose", ErrDimensionMismatch, "C is %d×%d, Aᵀ is %d×%d", c.nr, c.nc, ac, ar)
 	}
 	var z *cs[T]
 	if d.TranA {

@@ -1,6 +1,10 @@
 package grb
 
-import "sort"
+import (
+	"sort"
+
+	"lagraph/internal/obs"
+)
 
 // Vector is an opaque GraphBLAS vector of dimension n holding entries of
 // type T. Entries are stored sparsely (sorted index list plus values);
@@ -18,7 +22,7 @@ type Vector[T any] struct {
 // NewVector creates an empty vector of dimension n.
 func NewVector[T any](n int) (*Vector[T], error) {
 	if n < 0 {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("newVector", ErrInvalidValue, "dim %d", n)
 	}
 	return &Vector[T]{n: n}, nil
 }
@@ -144,11 +148,32 @@ func (v *Vector[T]) GetElement(i int) (T, error) {
 // Pending reports buffered updates and zombies. Diagnostic.
 func (v *Vector[T]) Pending() (tuples, zombies int) { return len(v.pend), v.nzomb }
 
-// Wait assembles pending tuples and reclaims zombies.
+// Wait assembles pending tuples and reclaims zombies. With an observer
+// installed, each non-trivial assembly emits an op record; the no-pending
+// early return stays allocation-free either way.
 func (v *Vector[T]) Wait() {
 	if v.nzomb == 0 && len(v.pend) == 0 {
 		return
 	}
+	ob := obs.Active()
+	if ob == nil {
+		v.assemble()
+		return
+	}
+	pending, zombies := len(v.pend), v.nzomb
+	t0 := ob.Now()
+	v.assemble()
+	ob.Op(obs.OpRecord{
+		Op: "wait", Kernel: "assemble",
+		Rows:    v.n,
+		NnzOut:  len(v.idx),
+		Pending: pending, Zombies: zombies,
+		DurNanos: ob.Now() - t0,
+	})
+}
+
+// assemble is Wait's worker: it must only run with pending work present.
+func (v *Vector[T]) assemble() {
 	pend := v.pend
 	op := v.pendOp
 	v.pend = nil
@@ -211,16 +236,16 @@ func (v *Vector[T]) Wait() {
 // with dup (nil means duplicates are an error).
 func (v *Vector[T]) Build(is []int, xs []T, dup BinaryOp[T, T, T]) error {
 	if len(is) != len(xs) {
-		return ErrInvalidValue
+		return opErrorf("build", ErrInvalidValue, "tuple slices have lengths %d, %d", len(is), len(xs))
 	}
 	// Build requires an empty vector; staleness is unobservable because the
 	// stored-entry read is paired with the pending-buffer check.
 	if len(v.idx) != 0 || len(v.pend) > 0 { //grblint:ignore pending-tuples read paired with pend check
-		return ErrInvalidValue
+		return opErrorf("build", ErrInvalidValue, "vector is not empty")
 	}
 	for _, i := range is {
 		if i < 0 || i >= v.n {
-			return ErrIndexOutOfBounds
+			return opErrorf("build", ErrIndexOutOfBounds, "index %d, dim %d", i, v.n)
 		}
 	}
 	perm := make([]int, len(is))
@@ -257,13 +282,13 @@ func (v *Vector[T]) ExtractTuples() (is []int, xs []T) {
 // taking ownership of the slices. Validation is O(nvals) unless trusted.
 func ImportSparse[T any](n int, idx []int, x []T, trusted bool) (*Vector[T], error) {
 	if n < 0 || len(idx) != len(x) {
-		return nil, ErrInvalidValue
+		return nil, opErrorf("import", ErrInvalidValue, "dim %d, %d indices, %d values", n, len(idx), len(x))
 	}
 	if !trusted {
 		prev := -1
 		for _, i := range idx {
 			if i <= prev || i >= n {
-				return nil, ErrInvalidValue
+				return nil, opErrorf("import", ErrInvalidValue, "index %d out of order or out of range %d", i, n)
 			}
 			prev = i
 		}

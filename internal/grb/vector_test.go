@@ -1,6 +1,7 @@
 package grb
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -13,14 +14,14 @@ func TestVectorBasics(t *testing.T) {
 	if err := v.SetElement(3, 1.5); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.SetElement(10, 1); err != ErrIndexOutOfBounds {
+	if err := v.SetElement(10, 1); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Fatalf("oob: %v", err)
 	}
 	x, err := v.GetElement(3)
 	if err != nil || x != 1.5 {
 		t.Fatalf("get: (%v,%v)", x, err)
 	}
-	if _, err := v.GetElement(4); err != ErrNoValue {
+	if _, err := v.GetElement(4); !errors.Is(err, ErrNoValue) {
 		t.Fatalf("missing: %v", err)
 	}
 	_ = v.SetElement(3, 2.5)
@@ -71,11 +72,11 @@ func TestVectorBuildAndDuplicates(t *testing.T) {
 		t.Fatalf("dup sum: %d", x)
 	}
 	w := MustVector[int](10)
-	if err := w.Build([]int{1, 1}, []int{2, 3}, nil); err != ErrInvalidValue {
+	if err := w.Build([]int{1, 1}, []int{2, 3}, nil); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("dup without op: %v", err)
 	}
 	u := MustVector[int](10)
-	if err := u.Build([]int{12}, []int{1}, nil); err != ErrIndexOutOfBounds {
+	if err := u.Build([]int{12}, []int{1}, nil); !errors.Is(err, ErrIndexOutOfBounds) {
 		t.Fatalf("oob: %v", err)
 	}
 }
@@ -100,7 +101,7 @@ func TestVectorImportExport(t *testing.T) {
 		t.Fatalf("roundtrip: %d", got)
 	}
 	// Unsorted import rejected.
-	if _, err := ImportSparse(10, []int{5, 2}, []int{1, 2}, false); err != ErrInvalidValue {
+	if _, err := ImportSparse(10, []int{5, 2}, []int{1, 2}, false); !errors.Is(err, ErrInvalidValue) {
 		t.Fatalf("unsorted: %v", err)
 	}
 }

@@ -15,7 +15,7 @@ package grb
 // (zidx, zx) sorted ascending.
 func writeVectorResult[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T, T, T], zidx []int, zx []T, d descValues) error {
 	if mask != nil && mask.n != w.n {
-		return ErrDimensionMismatch
+		return opErrorf("write", ErrDimensionMismatch, "mask is %d, w is %d", mask.n, w.n)
 	}
 	mv := newMaskVec(mask, d)
 	widx, wx := w.materialized()
@@ -74,10 +74,10 @@ func writeVectorResult[T, M any](w *Vector[T], mask *Vector[M], accum BinaryOp[T
 // result z in row-major compressed form.
 func writeMatrixResult[T, M any](c *Matrix[T], mask *Matrix[M], accum BinaryOp[T, T, T], z *cs[T], d descValues) error {
 	if z.nmajor != c.nr || z.nminor != c.nc {
-		return ErrDimensionMismatch
+		return opErrorf("write", ErrDimensionMismatch, "result is %d×%d, C is %d×%d", z.nmajor, z.nminor, c.nr, c.nc)
 	}
 	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
-		return ErrDimensionMismatch
+		return opErrorf("write", ErrDimensionMismatch, "mask is %d×%d, C is %d×%d", mask.nr, mask.nc, c.nr, c.nc)
 	}
 	mm := newMaskMat(mask, d)
 	old := c.materializedCSR()

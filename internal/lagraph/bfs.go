@@ -1,6 +1,9 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"lagraph/internal/grb"
+	"lagraph/internal/obs"
+)
 
 // Breadth-first search in the language of linear algebra (§V, and the
 // worked example of Fig. 2 of the paper). Three formulations are
@@ -23,32 +26,6 @@ type BFSStats struct {
 	// Depth is the number of BFS levels discovered (eccentricity+1 of the
 	// source within its component).
 	Depth int
-}
-
-// BFSOption configures a BFS run.
-type BFSOption func(*bfsConfig)
-
-type bfsConfig struct {
-	dir   grb.Direction
-	ratio int
-	stats *BFSStats
-}
-
-// WithDirection forces push or pull traversal for every iteration
-// (DirAuto, the default, switches adaptively).
-func WithDirection(d grb.Direction) BFSOption {
-	return func(c *bfsConfig) { c.dir = d }
-}
-
-// WithPushPullRatio overrides the frontier-density threshold at which
-// DirAuto switches from push to pull.
-func WithPushPullRatio(r int) BFSOption {
-	return func(c *bfsConfig) { c.ratio = r }
-}
-
-// WithStats records per-iteration traversal statistics into s.
-func WithStats(s *BFSStats) BFSOption {
-	return func(c *bfsConfig) { c.stats = s }
 }
 
 // BFSLevelSimple is the level BFS of Fig. 2, Go flavour. levels(i)
@@ -84,14 +61,12 @@ func BFSLevelSimple(g *Graph, src int) (*grb.Vector[int32], error) {
 
 // BFSLevels computes 0-based BFS levels with direction-optimized
 // traversal. Unreached vertices hold no entry.
-func BFSLevels(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int32], error) {
+func BFSLevels(g *Graph, src int, opts ...Option) (*grb.Vector[int32], error) {
 	if err := g.checkSource(src); err != nil {
 		return nil, err
 	}
-	cfg := bfsConfig{dir: grb.DirAuto, ratio: 0}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := newOptions(opts)
+	ob := cfg.observer()
 	n := g.N()
 	levels := grb.MustVector[int32](n)
 	frontier := grb.MustVector[bool](n)
@@ -103,31 +78,45 @@ func BFSLevels(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int32], error)
 		if nf == 0 {
 			break
 		}
-		if cfg.stats != nil {
-			cfg.stats.FrontierSizes = append(cfg.stats.FrontierSizes, nf)
-			cfg.stats.Directions = append(cfg.stats.Directions, resolveDir(cfg, nf, n))
+		dir := resolveDir(&cfg, nf, n)
+		if cfg.Stats != nil {
+			cfg.Stats.FrontierSizes = append(cfg.Stats.FrontierSizes, nf)
+			cfg.Stats.Directions = append(cfg.Stats.Directions, dir)
+		}
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
 		}
 		if err := grb.AssignVectorScalar(levels, frontier, nil, depth, grb.All, nil); err != nil {
 			return nil, err
 		}
-		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.dir, PushPullRatio: cfg.ratio}
+		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.Dir, PushPullRatio: cfg.PushPullRatio}
 		if err := grb.VxM(frontier, levels, nil, logical, frontier, g.A, d); err != nil {
 			return nil, err
 		}
 		depth++
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "bfs", Iter: int(depth),
+				Frontier: nf, Dir: dirString(dir),
+				DurNanos: ob.Now() - t0,
+			})
+		}
 	}
-	if cfg.stats != nil {
-		cfg.stats.Depth = int(depth)
+	if cfg.Stats != nil {
+		cfg.Stats.Depth = int(depth)
 	}
 	return levels, nil
 }
 
-// resolveDir mirrors the DirAuto choice for statistics recording.
-func resolveDir(cfg bfsConfig, nf, n int) grb.Direction {
-	if cfg.dir != grb.DirAuto {
-		return cfg.dir
+// resolveDir mirrors the DirAuto choice of grb.chooseDirection for
+// statistics and trace recording: the library switches to pull once the
+// frontier is dense relative to the vertex count.
+func resolveDir(cfg *Options, nf, n int) grb.Direction {
+	if cfg.Dir != grb.DirAuto {
+		return cfg.Dir
 	}
-	ratio := cfg.ratio
+	ratio := cfg.PushPullRatio
 	if ratio <= 0 {
 		ratio = 16
 	}
@@ -142,14 +131,12 @@ func resolveDir(cfg bfsConfig, nf, n int) grb.Direction {
 // the (any, first) semiring over frontier values that carry vertex ids —
 // the early-exit ANY monoid makes every pull dot product stop at the
 // first hit (§II-A).
-func BFSParents(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int64], error) {
+func BFSParents(g *Graph, src int, opts ...Option) (*grb.Vector[int64], error) {
 	if err := g.checkSource(src); err != nil {
 		return nil, err
 	}
-	cfg := bfsConfig{dir: grb.DirAuto}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := newOptions(opts)
+	ob := cfg.observer()
 	n := g.N()
 	parents := grb.MustVector[int64](n)
 	_ = parents.SetElement(src, int64(src))
@@ -157,9 +144,20 @@ func BFSParents(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int64], error
 	_ = frontier.SetElement(src, int64(src))
 	// w(j) = any_{i in frontier} frontier(i): carries a parent id.
 	anyFirst := grb.Semiring[int64, float64, int64]{Add: grb.AnyMonoid[int64](), Mul: grb.First[int64, float64]()}
-	for frontier.Nvals() > 0 {
+	iter := 0
+	for {
+		nf := frontier.Nvals()
+		if nf == 0 {
+			break
+		}
+		iter++
+		dir := resolveDir(&cfg, nf, n)
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
+		}
 		// frontier⟨¬parents,replace⟩ = frontier ⊕.⊗ A
-		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.dir, PushPullRatio: cfg.ratio}
+		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.Dir, PushPullRatio: cfg.PushPullRatio}
 		if err := grb.VxM(frontier, parents, nil, anyFirst, frontier, g.A, d); err != nil {
 			return nil, err
 		}
@@ -172,19 +170,24 @@ func BFSParents(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int64], error
 			func(_ int64, i, _ int) int64 { return int64(i) }, frontier, nil); err != nil {
 			return nil, err
 		}
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "bfs-parents", Iter: iter,
+				Frontier: nf, Dir: dirString(dir),
+				DurNanos: ob.Now() - t0,
+			})
+		}
 	}
 	return parents, nil
 }
 
 // BFSBoth returns levels and parents in one traversal.
-func BFSBoth(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int32], *grb.Vector[int64], error) {
+func BFSBoth(g *Graph, src int, opts ...Option) (*grb.Vector[int32], *grb.Vector[int64], error) {
 	if err := g.checkSource(src); err != nil {
 		return nil, nil, err
 	}
-	cfg := bfsConfig{dir: grb.DirAuto}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := newOptions(opts)
+	ob := cfg.observer()
 	n := g.N()
 	levels := grb.MustVector[int32](n)
 	parents := grb.MustVector[int64](n)
@@ -193,11 +196,20 @@ func BFSBoth(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int32], *grb.Vec
 	_ = frontier.SetElement(src, int64(src))
 	anyFirst := grb.Semiring[int64, float64, int64]{Add: grb.AnyMonoid[int64](), Mul: grb.First[int64, float64]()}
 	depth := int32(0)
-	for frontier.Nvals() > 0 {
+	for {
+		nf := frontier.Nvals()
+		if nf == 0 {
+			break
+		}
+		dir := resolveDir(&cfg, nf, n)
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
+		}
 		if err := grb.AssignVectorScalar(levels, frontier, nil, depth, grb.All, nil); err != nil {
 			return nil, nil, err
 		}
-		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.dir, PushPullRatio: cfg.ratio}
+		d := &grb.Descriptor{Replace: true, Comp: true, Dir: cfg.Dir, PushPullRatio: cfg.PushPullRatio}
 		if err := grb.VxM(frontier, parents, nil, anyFirst, frontier, g.A, d); err != nil {
 			return nil, nil, err
 		}
@@ -209,6 +221,13 @@ func BFSBoth(g *Graph, src int, opts ...BFSOption) (*grb.Vector[int32], *grb.Vec
 			return nil, nil, err
 		}
 		depth++
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "bfs", Iter: int(depth),
+				Frontier: nf, Dir: dirString(dir),
+				DurNanos: ob.Now() - t0,
+			})
+		}
 	}
 	return levels, parents, nil
 }

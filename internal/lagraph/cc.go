@@ -1,6 +1,9 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"lagraph/internal/grb"
+	"lagraph/internal/obs"
+)
 
 // Connected components (§V, [38]): the FastSV algorithm of Zhang, Azad
 // and Buluç (the basis of LACC/LAGraph's CC), plus a simple label
@@ -22,8 +25,13 @@ func ConnectedComponentsFastSV(g *Graph) (*grb.Vector[int64], error) {
 
 	minSecond := grb.Semiring[float64, int64, int64]{Add: grb.MinMonoid[int64](), Mul: grb.Second[float64, int64]()}
 
+	ob := obs.Active()
 	gp := f.Dup() // grandparent
 	for iter := 0; iter <= n; iter++ {
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
+		}
 		// mngp(i) = min over neighbours j of gp(j): stochastic hooking.
 		mngp := grb.MustVector[int64](n)
 		if err := grb.MxV(mngp, (*grb.Vector[bool])(nil), nil, minSecond, g.A, gp, nil); err != nil {
@@ -71,8 +79,15 @@ func ConnectedComponentsFastSV(g *Graph) (*grb.Vector[int64], error) {
 			return nil, err
 		}
 
+		stable := vectorsEqual(gp, newGP)
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "cc-fastsv", Iter: iter + 1,
+				DurNanos: ob.Now() - t0,
+			})
+		}
 		// Converged when the grandparent vector is stable.
-		if vectorsEqual(gp, newGP) {
+		if stable {
 			return f, nil
 		}
 		gp = newGP

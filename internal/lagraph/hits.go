@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"lagraph/internal/grb"
+	"lagraph/internal/obs"
 )
 
 // HITS (Kleinberg's hubs and authorities): the §V list is explicitly
@@ -21,16 +22,34 @@ type HITSResult struct {
 
 // HITS computes hub and authority scores, stopping when the L1 change of
 // both vectors drops below tol.
+//
+// Deprecated: use HITSWith (WithTolerance, WithMaxIter).
 func HITS(g *Graph, tol float64, maxIter int) (*HITSResult, error) {
+	// Positional arguments are validated here, before zero values could
+	// silently become Options defaults.
 	if maxIter <= 0 || tol <= 0 {
 		return nil, ErrBadArgument
 	}
+	return HITSWith(g, WithTolerance(tol), WithMaxIter(maxIter))
+}
+
+// HITSWith computes hub and authority scores. Defaults: tolerance 1e-6,
+// at most 50 iterations.
+func HITSWith(g *Graph, opts ...Option) (*HITSResult, error) {
+	cfg := newOptions(opts)
+	tol := cfg.tol(1e-6)
+	maxIter := cfg.maxIter(50)
+	ob := cfg.observer()
 	n := g.N()
 	hubs := grb.DenseVector(constants(n, 1/math.Sqrt(float64(n))))
 	auth := grb.DenseVector(constants(n, 1/math.Sqrt(float64(n))))
 	plusSecond := grb.PlusSecond[float64]()
 
 	for iter := 1; iter <= maxIter; iter++ {
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
+		}
 		// a' = Aᵀ h (authorities collect from in-links).
 		newAuth := grb.MustVector[float64](n)
 		if err := grb.MxV(newAuth, (*grb.Vector[bool])(nil), nil, plusSecond, g.A, hubs, grb.DescT0); err != nil {
@@ -56,6 +75,13 @@ func HITS(g *Graph, tol float64, maxIter int) (*HITSResult, error) {
 			return nil, err
 		}
 		hubs, auth = newHubs, newAuth
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "hits", Iter: iter,
+				Residual: dh + da,
+				DurNanos: ob.Now() - t0,
+			})
+		}
 		if dh+da < tol {
 			return &HITSResult{Hubs: hubs, Authorities: auth, Iterations: iter, Converged: true}, nil
 		}

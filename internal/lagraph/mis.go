@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"lagraph/internal/grb"
+	"lagraph/internal/obs"
 )
 
 // Maximal independent set (§V, [44]) by Luby's algorithm in GraphBLAS
@@ -30,10 +31,15 @@ func MIS(g *Graph, seed int64) (*grb.Vector[bool], error) {
 	iset := grb.MustVector[bool](n)
 	maxSecond := grb.Semiring[float64, float64, float64]{Add: grb.MaxMonoid[float64](), Mul: grb.Second[float64, float64]()}
 
+	ob := obs.Active()
 	for round := 0; round <= 2*n+64; round++ {
 		nc := candidates.Nvals()
 		if nc == 0 {
 			return iset, nil
+		}
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
 		}
 		// score(i) = random / (1 + deg(i)) for candidates (degree-aware
 		// scores converge faster; Luby's classic analysis still applies).
@@ -93,6 +99,13 @@ func MIS(g *Graph, seed int64) (*grb.Vector[bool], error) {
 			return nil, err
 		}
 		candidates = next
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "mis", Iter: round + 1,
+				Frontier: nc,
+				DurNanos: ob.Now() - t0,
+			})
+		}
 	}
 	return nil, ErrNoConvergence
 }

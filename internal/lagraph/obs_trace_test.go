@@ -1,0 +1,105 @@
+package lagraph
+
+// Algorithm-level half of the observation contract: a traced BFS returns
+// bitwise-identical levels to an untraced one at both parallelism
+// extremes, and the trace of a direction-optimized BFS over a power-law
+// graph carries what the CI smoke job asserts — per-iteration frontier
+// sizes and at least one push→pull switch.
+
+import (
+	"bytes"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/obs"
+)
+
+func powerLawGraph(n, m int, seed int64) *Graph {
+	return FromEdgeList(
+		gen.PowerLaw(n, m, 1.8, gen.Config{Seed: seed, Undirected: true, NoSelfLoops: true}),
+		Undirected)
+}
+
+func bfsLevelBytes(t *testing.T, g *Graph, p int, traced bool) []byte {
+	t.Helper()
+	if traced {
+		prev := obs.Set(obs.NewTrace(0))
+		defer obs.Set(prev)
+	}
+	prevP := grb.SetParallelism(p)
+	defer grb.SetParallelism(prevP)
+	levels, err := BFSLevels(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := grb.SerializeVector(&buf, levels); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTracedBFSBitwiseIdentical: tracing must not perturb the traversal.
+func TestTracedBFSBitwiseIdentical(t *testing.T) {
+	g := powerLawGraph(1<<11, 1<<15, 81)
+	base := bfsLevelBytes(t, g, 1, false)
+	for _, c := range []struct {
+		name   string
+		p      int
+		traced bool
+	}{
+		{"p1 traced", 1, true},
+		{"p8 untraced", 8, false},
+		{"p8 traced", 8, true},
+	} {
+		if got := bfsLevelBytes(t, g, c.p, c.traced); !bytes.Equal(base, got) {
+			t.Errorf("%s: BFS levels differ from p1 untraced (%d vs %d bytes)",
+				c.name, len(got), len(base))
+		}
+	}
+}
+
+// TestPowerLawBFSTraceSwitch: on a skewed graph the auto-directed BFS
+// starts push (sparse frontier) and goes pull once the frontier saturates;
+// the trace must record frontier sizes and that switch. This is the
+// in-tree twin of the CI trace-smoke job (cmd/tracecheck -want-switch).
+func TestPowerLawBFSTraceSwitch(t *testing.T) {
+	g := powerLawGraph(1<<12, 1<<16, 82)
+	tr := obs.NewTrace(0)
+	if _, err := BFSLevels(g, 0, WithObserver(tr)); err != nil {
+		t.Fatal(err)
+	}
+	var iters []obs.IterRecord
+	for _, r := range tr.Iters() {
+		if r.Algo == "bfs" {
+			iters = append(iters, r)
+		}
+	}
+	if len(iters) < 2 {
+		t.Fatalf("BFS trace has %d iteration records, want at least 2", len(iters))
+	}
+	switched := false
+	for k, r := range iters {
+		if r.Iter != k+1 {
+			t.Errorf("iteration %d recorded as iter %d", k+1, r.Iter)
+		}
+		if r.Frontier <= 0 {
+			t.Errorf("iteration %d has no frontier size: %+v", k+1, r)
+		}
+		if k > 0 && iters[k-1].Dir == "push" && r.Dir == "pull" {
+			switched = true
+		}
+	}
+	if !switched {
+		t.Errorf("no push→pull switch across %d iterations (dirs: %v)", len(iters), dirs(iters))
+	}
+}
+
+func dirs(iters []obs.IterRecord) []string {
+	out := make([]string, len(iters))
+	for i, r := range iters {
+		out[i] = r.Dir
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package lagraph
+
+import (
+	"lagraph/internal/grb"
+	"lagraph/internal/obs"
+)
+
+// Options collects the knobs shared by the algorithm entry points, set
+// through functional options: iteration caps, convergence tolerances,
+// traversal direction, and the observer that receives per-iteration
+// records. The zero value of every field means "algorithm default", so
+// options compose freely and new fields are backward compatible.
+//
+// The positional signatures that predate Options (PageRank's
+// (damping, tol, maxIter), HITS's (tol, maxIter), SSSPDeltaStepping's
+// delta) remain as thin deprecated wrappers over the Options-based entry
+// points.
+type Options struct {
+	// MaxIter caps the main iteration count; 0 selects the algorithm's
+	// default (n for traversals, 100 for PageRank, 50 for HITS).
+	MaxIter int
+	// Tol is the convergence tolerance for fixed-point loops; 0 selects
+	// the algorithm's default.
+	Tol float64
+	// Damping is PageRank's damping factor; 0 selects 0.85.
+	Damping float64
+	// Delta is delta-stepping's bucket width; 0 selects 2.
+	Delta float64
+	// Observer receives per-iteration IterRecords. nil falls back to
+	// the process-wide observer (obs.Active), so a -trace run needs no
+	// per-call plumbing; set it explicitly to scope observation to one
+	// algorithm invocation.
+	Observer obs.Observer
+	// Dir forces push or pull traversal (DirAuto switches adaptively).
+	Dir grb.Direction
+	// PushPullRatio overrides the frontier-density threshold at which
+	// DirAuto switches from push to pull; 0 selects the grb default.
+	PushPullRatio int
+	// Stats, when non-nil, receives per-iteration BFS statistics.
+	Stats *BFSStats
+}
+
+// Option mutates an Options; pass them variadically to entry points.
+type Option func(*Options)
+
+// BFSOption is the former name of Option, kept so existing callers and
+// signatures compile unchanged.
+//
+// Deprecated: use Option.
+type BFSOption = Option
+
+// newOptions folds opts over the zero value.
+func newOptions(opts []Option) Options {
+	var o Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// observer resolves the effective observer: the per-call one if set,
+// otherwise the process-wide one (which is nil when tracing is off).
+func (o *Options) observer() obs.Observer {
+	if o.Observer != nil {
+		return o.Observer
+	}
+	return obs.Active()
+}
+
+// maxIter returns the iteration cap, with def as the algorithm default.
+func (o *Options) maxIter(def int) int {
+	if o.MaxIter > 0 {
+		return o.MaxIter
+	}
+	return def
+}
+
+// tol returns the tolerance, with def as the algorithm default.
+func (o *Options) tol(def float64) float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return def
+}
+
+// WithMaxIter caps the main iteration count.
+func WithMaxIter(n int) Option {
+	return func(o *Options) { o.MaxIter = n }
+}
+
+// WithTolerance sets the convergence tolerance of fixed-point loops.
+func WithTolerance(t float64) Option {
+	return func(o *Options) { o.Tol = t }
+}
+
+// WithDamping sets PageRank's damping factor.
+func WithDamping(d float64) Option {
+	return func(o *Options) { o.Damping = d }
+}
+
+// WithDelta sets delta-stepping's bucket width.
+func WithDelta(d float64) Option {
+	return func(o *Options) { o.Delta = d }
+}
+
+// WithObserver scopes per-iteration observation to this invocation,
+// overriding the process-wide observer.
+func WithObserver(ob obs.Observer) Option {
+	return func(o *Options) { o.Observer = ob }
+}
+
+// WithDirection forces push or pull traversal for every iteration
+// (DirAuto, the default, switches adaptively).
+func WithDirection(d grb.Direction) Option {
+	return func(o *Options) { o.Dir = d }
+}
+
+// WithPushPullRatio overrides the frontier-density threshold at which
+// DirAuto switches from push to pull.
+func WithPushPullRatio(r int) Option {
+	return func(o *Options) { o.PushPullRatio = r }
+}
+
+// WithStats records per-iteration traversal statistics into s.
+func WithStats(s *BFSStats) Option {
+	return func(o *Options) { o.Stats = s }
+}
+
+// dirString renders a traversal direction for an IterRecord.
+func dirString(d grb.Direction) string {
+	if d == grb.DirPull {
+		return "pull"
+	}
+	return "push"
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"lagraph/internal/grb"
+	"lagraph/internal/obs"
 )
 
 // PageRank (§V, [39]) in the GAP-benchmark formulation used by LAGraph:
@@ -19,10 +20,31 @@ type PageRankResult struct {
 }
 
 // PageRank computes the damped PageRank of every vertex.
+//
+// Deprecated: use PageRankWith (WithDamping, WithTolerance, WithMaxIter).
 func PageRank(g *Graph, damping, tol float64, maxIter int) (*PageRankResult, error) {
+	// Positional arguments are validated here, before zero values could
+	// silently become Options defaults.
 	if damping <= 0 || damping >= 1 || maxIter <= 0 {
 		return nil, ErrBadArgument
 	}
+	return PageRankWith(g, WithDamping(damping), WithTolerance(tol), WithMaxIter(maxIter))
+}
+
+// PageRankWith computes the damped PageRank of every vertex. Defaults:
+// damping 0.85, tolerance 1e-4, at most 100 iterations.
+func PageRankWith(g *Graph, opts ...Option) (*PageRankResult, error) {
+	cfg := newOptions(opts)
+	damping := cfg.Damping
+	if damping == 0 {
+		damping = 0.85
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, ErrBadArgument
+	}
+	tol := cfg.tol(1e-4)
+	maxIter := cfg.maxIter(100)
+	ob := cfg.observer()
 	n := g.N()
 	nf := float64(n)
 
@@ -41,6 +63,10 @@ func PageRank(g *Graph, damping, tol float64, maxIter int) (*PageRankResult, err
 	plusSecond := grb.PlusSecond[float64]()
 
 	for iter := 1; iter <= maxIter; iter++ {
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
+		}
 		// Dangling mass this round.
 		dr := grb.MustVector[float64](n)
 		if err := grb.ExtractVector(dr, danglingMask, nil, r, grb.All, grb.DescC); err != nil {
@@ -82,6 +108,13 @@ func PageRank(g *Graph, damping, tol float64, maxIter int) (*PageRankResult, err
 			return nil, err
 		}
 		r = rNew
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "pagerank", Iter: iter,
+				Residual: l1,
+				DurNanos: ob.Now() - t0,
+			})
+		}
 		if l1 < tol {
 			return &PageRankResult{Rank: r, Iterations: iter, Converged: true}, nil
 		}

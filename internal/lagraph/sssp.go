@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"lagraph/internal/grb"
+	"lagraph/internal/obs"
 )
 
 // Single-source shortest paths (§V): a Bellman-Ford formulation over the
@@ -13,19 +14,25 @@ import (
 // SSSPBellmanFord iterates d ← d min.+ (dᵀA) until the distance vector
 // reaches a fixed point. Edge weights must be non-negative (no negative
 // cycle detection). Unreached vertices hold no entry.
-func SSSPBellmanFord(g *Graph, src int) (*grb.Vector[float64], error) {
+func SSSPBellmanFord(g *Graph, src int, opts ...Option) (*grb.Vector[float64], error) {
 	if err := g.checkSource(src); err != nil {
 		return nil, err
 	}
+	cfg := newOptions(opts)
+	ob := cfg.observer()
 	n := g.N()
 	d := grb.MustVector[float64](n)
 	_ = d.SetElement(src, 0)
 	minPlus := grb.MinPlus[float64]()
-	for iter := 0; iter < n; iter++ {
+	for iter := 0; iter < cfg.maxIter(n); iter++ {
 		prevN := d.Nvals()
 		prevSum, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), d)
 		if err != nil {
 			return nil, err
+		}
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
 		}
 		// d ← d min (d min.+ A)
 		if err := grb.VxM(d, (*grb.Vector[bool])(nil), grb.MinOp[float64](), minPlus, d, g.A, nil); err != nil {
@@ -35,6 +42,10 @@ func SSSPBellmanFord(g *Graph, src int) (*grb.Vector[float64], error) {
 		if err != nil {
 			return nil, err
 		}
+		if ob != nil {
+			ob.Iter(obs.IterRecord{Algo: "sssp-bf", Iter: iter + 1, Frontier: d.Nvals(),
+				Residual: math.Abs(curSum - prevSum), DurNanos: ob.Now() - t0})
+		}
 		if d.Nvals() == prevN && curSum == prevSum {
 			return d, nil
 		}
@@ -42,17 +53,41 @@ func SSSPBellmanFord(g *Graph, src int) (*grb.Vector[float64], error) {
 	return d, nil
 }
 
-// SSSPDeltaStepping implements delta-stepping in GraphBLAS form: vertices
-// are processed in distance buckets of width delta; light edges (< delta)
-// are relaxed repeatedly inside the bucket, heavy edges once per bucket.
+// SSSP is the Options-based single-source shortest-path entry point:
+// delta-stepping with a configurable bucket width (WithDelta; default 2).
 // Weights must be non-negative.
-func SSSPDeltaStepping(g *Graph, src int, delta float64) (*grb.Vector[float64], error) {
-	if err := g.checkSource(src); err != nil {
-		return nil, err
+func SSSP(g *Graph, src int, opts ...Option) (*grb.Vector[float64], error) {
+	cfg := newOptions(opts)
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 2
 	}
 	if delta <= 0 {
 		return nil, ErrBadArgument
 	}
+	return ssspDelta(g, src, delta, &cfg)
+}
+
+// SSSPDeltaStepping implements delta-stepping in GraphBLAS form: vertices
+// are processed in distance buckets of width delta; light edges (< delta)
+// are relaxed repeatedly inside the bucket, heavy edges once per bucket.
+// Weights must be non-negative.
+//
+// Deprecated: use SSSP with WithDelta.
+func SSSPDeltaStepping(g *Graph, src int, delta float64) (*grb.Vector[float64], error) {
+	if delta <= 0 {
+		return nil, ErrBadArgument
+	}
+	return SSSP(g, src, WithDelta(delta))
+}
+
+// ssspDelta is the delta-stepping core shared by SSSP and its deprecated
+// positional wrapper.
+func ssspDelta(g *Graph, src int, delta float64, cfg *Options) (*grb.Vector[float64], error) {
+	if err := g.checkSource(src); err != nil {
+		return nil, err
+	}
+	ob := cfg.observer()
 	n := g.N()
 
 	// Split the adjacency into light and heavy edge matrices.
@@ -78,7 +113,12 @@ func SSSPDeltaStepping(g *Graph, src int, delta float64) (*grb.Vector[float64], 
 		if err := grb.SelectVector[float64, bool](tReq, nil, nil, inBucket, t, nil); err != nil {
 			return nil, err
 		}
-		if tReq.Nvals() == 0 {
+		bucketSize := tReq.Nvals()
+		var t0 int64
+		if ob != nil {
+			t0 = ob.Now()
+		}
+		if bucketSize == 0 {
 			// Any vertex left beyond this bucket?
 			remaining := grb.MustVector[float64](n)
 			if err := grb.SelectVector[float64, bool](remaining, nil, nil, grb.ValueGE(hi), t, nil); err != nil {
@@ -114,6 +154,13 @@ func SSSPDeltaStepping(g *Graph, src int, delta float64) (*grb.Vector[float64], 
 			if err := grb.VxM(t, (*grb.Vector[bool])(nil), grb.MinOp[float64](), minPlus, tReq, heavy, nil); err != nil {
 				return nil, err
 			}
+		}
+		if ob != nil {
+			ob.Iter(obs.IterRecord{
+				Algo: "sssp", Iter: step + 1,
+				Frontier: bucketSize,
+				DurNanos: ob.Now() - t0,
+			})
 		}
 		// Termination: every remaining tentative distance below hi is
 		// settled; stop when nothing at or beyond hi remains.

@@ -13,6 +13,14 @@ import (
 // methodology (fast kernel vs dense mimic, §II-A) and the
 // cross-parallelism bitwise tests meaningful. Timing belongs in
 // benchmarks, randomness in internal/gen, I/O in cmd/.
+//
+// The one sanctioned timing route is the observability seam: kernels may
+// import lagraph/internal/obs and read the clock through an injected
+// Observer's Now() method. The seam keeps the purity guarantee intact —
+// with no observer installed the kernel never reads a clock, and the
+// timestamps an observer records never feed back into kernel results.
+// Calling the package-level obs.Clock() directly is still banned: that is
+// an unconditional clock read, indistinguishable from importing time.
 func kernelPurityCheck() *Check {
 	kernelPkgs := map[string]bool{"grb": true, "ref": true}
 	return &Check{
@@ -33,10 +41,19 @@ var impureImports = map[string]string{
 	"os":           "kernels must not touch the process environment",
 }
 
+// clockSeamImports are module-internal packages kernel code may import even
+// though they wrap a clock: the import is the injected-clock seam, not a
+// clock read. Direct calls to the seam's package-level clock are still
+// flagged (see runKernelPurity).
+var clockSeamImports = map[string]bool{
+	"lagraph/internal/obs": true,
+}
+
 func runKernelPurity(p *Package, r *Reporter) {
 	for _, f := range p.Files {
 		// The local name each impure or print-capable package is bound to.
 		fmtName := ""
+		obsName := ""
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
@@ -50,6 +67,14 @@ func runKernelPurity(p *Package, r *Reporter) {
 				r.Reportf(imp.Pos(), "kernel code must not import %q: %s", path, reason)
 				continue
 			}
+			if clockSeamImports[path] {
+				// Allowed: the injected-clock seam. Track the local name so
+				// direct package-level clock calls can still be flagged.
+				obsName = path[strings.LastIndex(path, "/")+1:]
+				if name != "" {
+					obsName = name
+				}
+			}
 			if path == "fmt" {
 				fmtName = "fmt"
 				if name != "" {
@@ -57,7 +82,7 @@ func runKernelPurity(p *Package, r *Reporter) {
 				}
 			}
 		}
-		if fmtName == "" || fmtName == "_" {
+		if (fmtName == "" || fmtName == "_") && (obsName == "" || obsName == "_") {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -70,13 +95,18 @@ func runKernelPurity(p *Package, r *Reporter) {
 				return true
 			}
 			id, ok := sel.X.(*ast.Ident)
-			if !ok || id.Name != fmtName {
+			if !ok {
 				return true
 			}
-			if strings.HasPrefix(sel.Sel.Name, "Print") {
+			if id.Name == fmtName && strings.HasPrefix(sel.Sel.Name, "Print") {
 				r.Reportf(call.Pos(),
 					"kernel code must not print to stdout (%s.%s); return values or errors instead",
 					fmtName, sel.Sel.Name)
+			}
+			if id.Name == obsName && obsName != "" && sel.Sel.Name == "Clock" {
+				r.Reportf(call.Pos(),
+					"kernel code must not call %s.Clock directly; read time through an injected Observer's Now()",
+					obsName)
 			}
 			return true
 		})

@@ -1,0 +1,27 @@
+package grb
+
+// The injected-clock seam: importing lagraph/internal/obs is allowed in
+// kernel code (unlike time), and reading the clock through an injected
+// Observer's Now() is the sanctioned pattern. Calling the package-level
+// obs.Clock() directly is an unconditional clock read and stays banned.
+
+import (
+	"lagraph/internal/obs"
+)
+
+// instrumented shows the clean pattern: guard on obs.Active, read time
+// only through the observer.
+func instrumented() int64 {
+	ob := obs.Active()
+	if ob == nil {
+		return 0
+	}
+	t0 := ob.Now() // allowed: injected clock
+	ob.Op(obs.OpRecord{Op: "fixture", DurNanos: ob.Now() - t0})
+	return t0
+}
+
+// sneakyClock bypasses the injection seam.
+func sneakyClock() int64 {
+	return obs.Clock() // WANT kernel-purity
+}
