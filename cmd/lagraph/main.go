@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +50,12 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		// A deadline hit gets its own exit status so scripts can tell
+		// "too slow" from "wrong": 3 = canceled, 1 = any other failure.
+		if errors.Is(err, grb.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "lagraph: canceled:", err)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "lagraph:", err)
 		os.Exit(1)
 	}
@@ -57,7 +65,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lagraph gen     -kind rmat|er|grid|powerlaw -scale N [-ef N] [-seed N] [-undirected] -out FILE
   lagraph info    -in FILE
-  lagraph run     -algo NAME (-in FILE | -kind ... -scale N) [-src N] [-k N] [-undirected] [-trace FILE]
+  lagraph run     -algo NAME (-in FILE | -kind ... -scale N) [-src N] [-k N] [-undirected] [-trace FILE] [-timeout DUR]
   lagraph convert -in FILE(.mtx|.grb) -out FILE(.mtx|.grb)`)
 }
 
@@ -226,12 +234,21 @@ func cmdRun(args []string) error {
 	delta := fs.Float64("delta", 2, "delta (sssp delta-stepping)")
 	trace := fs.String("trace", "", "write a JSON op/iteration trace to FILE (\"-\" = stdout)")
 	traceCap := fs.Int("trace-cap", obs.DefaultTraceCapacity, "trace ring-buffer capacity (records kept per kind)")
+	timeout := fs.Duration("timeout", 0, "abandon the run after this long (0 = no deadline); exit status 3")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	g, err := gf.load()
 	if err != nil {
 		return err
+	}
+	// The deadline covers the algorithm only, not graph loading: checked
+	// between iterations, so cancellation lands within one iteration.
+	var opts []lagraph.Option
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = append(opts, lagraph.WithContext(ctx))
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.NEdges())
 	var tr *obs.Trace
@@ -251,7 +268,7 @@ func cmdRun(args []string) error {
 	switch strings.ToLower(*algo) {
 	case "bfs":
 		var stats lagraph.BFSStats
-		levels, err := lagraph.BFSLevels(g, *src, lagraph.WithStats(&stats))
+		levels, err := lagraph.BFSLevels(g, *src, append(opts, lagraph.WithStats(&stats))...)
 		if err != nil {
 			return err
 		}
@@ -264,26 +281,27 @@ func cmdRun(args []string) error {
 			fmt.Printf("  iter %2d: frontier %7d  %s\n", i, stats.FrontierSizes[i], dir)
 		}
 	case "parents":
-		parents, err := lagraph.BFSParents(g, *src)
+		parents, err := lagraph.BFSParents(g, *src, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("bfs tree from %d: %d vertices\n", *src, parents.Nvals())
 	case "sssp":
-		d, err := lagraph.SSSPDeltaStepping(g, *src, *delta)
+		d, err := lagraph.SSSP(g, *src, append(opts, lagraph.WithDelta(*delta))...)
 		if err != nil {
 			return err
 		}
 		mx, _ := grb.ReduceVectorToScalar(grb.MaxMonoid[float64](), d)
 		fmt.Printf("sssp from %d: reached %d, max distance %.1f\n", *src, d.Nvals(), mx)
 	case "bellmanford":
-		d, err := lagraph.SSSPBellmanFord(g, *src)
+		d, err := lagraph.SSSPBellmanFord(g, *src, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("bellman-ford from %d: reached %d\n", *src, d.Nvals())
 	case "pagerank":
-		res, err := lagraph.PageRank(g, 0.85, 1e-8, 100)
+		res, err := lagraph.PageRankWith(g, append(opts,
+			lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-8), lagraph.WithMaxIter(100))...)
 		if err != nil {
 			return err
 		}
@@ -293,25 +311,25 @@ func cmdRun(args []string) error {
 			fmt.Printf("  #%d vertex %d  %.6f\n", rank+1, v, score)
 		}
 	case "tc":
-		c, err := lagraph.TriangleCount(g, lagraph.TCSandiaDot)
+		c, err := lagraph.TriangleCount(g, lagraph.TCSandiaDot, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("triangles: %d\n", c)
 	case "ktruss":
-		tr, err := lagraph.KTruss(g, *k)
+		tr, err := lagraph.KTruss(g, *k, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%d-truss: %d directed edges\n", *k, tr.Nvals())
 	case "cc":
-		labels, err := lagraph.ConnectedComponentsFastSV(g)
+		labels, err := lagraph.ConnectedComponentsFastSV(g, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("components: %d\n", lagraph.CountComponents(labels))
 	case "mis":
-		iset, err := lagraph.MIS(g, *gf.seed)
+		iset, err := lagraph.MIS(g, *gf.seed, opts...)
 		if err != nil {
 			return err
 		}
@@ -355,7 +373,7 @@ func cmdRun(args []string) error {
 		fmt.Printf("local cluster around %d: %d members, conductance %.3f\n",
 			*src, len(res.Members), res.Conductance)
 	case "apsp":
-		d, err := lagraph.APSP(g)
+		d, err := lagraph.APSP(g, opts...)
 		if err != nil {
 			return err
 		}
@@ -368,7 +386,8 @@ func cmdRun(args []string) error {
 		mx, _ := grb.ReduceVectorToScalar(grb.MaxMonoid[int64](), core)
 		fmt.Printf("k-core: degeneracy %d\n", mx)
 	case "hits":
-		res, err := lagraph.HITS(g, 1e-8, 200)
+		res, err := lagraph.HITSWith(g, append(opts,
+			lagraph.WithTolerance(1e-8), lagraph.WithMaxIter(200))...)
 		if err != nil {
 			return err
 		}
@@ -384,7 +403,7 @@ func cmdRun(args []string) error {
 		}
 		fmt.Printf("pseudo-diameter: %d (between %d and %d)\n", d, from, to)
 	case "cc-lp":
-		labels, err := lagraph.ConnectedComponentsLabelProp(g)
+		labels, err := lagraph.ConnectedComponentsLabelProp(g, opts...)
 		if err != nil {
 			return err
 		}

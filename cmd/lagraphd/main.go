@@ -1,0 +1,92 @@
+// lagraphd is the graph-query daemon: it holds a catalog of named graphs
+// resident in memory with warmed property caches and serves JSON queries
+// over HTTP (see internal/svc for the endpoint contract).
+//
+// Usage:
+//
+//	lagraphd -addr :8487 -workers 8 -queue 32 -timeout 30s
+//
+// Endpoints:
+//
+//	POST   /graphs               load/generate a named graph
+//	GET    /graphs               list registered graphs
+//	GET    /graphs/{name}        cached properties of one graph
+//	DELETE /graphs/{name}        drop a graph
+//	POST   /graphs/{name}/query  run an algorithm (bfs, sssp, pagerank, ...)
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lagraph/internal/catalog"
+	"lagraph/internal/obs"
+	"lagraph/internal/svc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8487", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queries queued for a worker slot (0 = 4×workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper clamp on client-requested deadlines")
+	allowPath := flag.Bool("allow-path-load", false, "permit POST /graphs to read files from this host's filesystem")
+	flag.Parse()
+
+	// Kernel-level op records from every query flow into one process-wide
+	// Counters sink, rendered by /metrics.
+	counters := &obs.Counters{}
+	obs.Set(counters)
+
+	srv := svc.New(catalog.New(), counters, svc.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		AllowPathLoad:  *allowPath,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("lagraphd: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, let in-flight queries finish
+		// up to their own deadlines (bounded by max-timeout + slack).
+		log.Printf("lagraphd: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("lagraphd: shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("lagraphd: drained, bye")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "lagraphd:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// loadgen is the lagraphd load-generator and smoke-test client: it loads
+// a generated graph into a running daemon, fires a configurable number of
+// concurrent queries across a mix of algorithms, checks every response is
+// 2xx with a coherent body, asserts that repeated runs of the same query
+// return identical checksums (the determinism contract), and finally
+// validates the /metrics payload. Exit status 0 means the round-trip is
+// healthy; any protocol violation exits 1 — which is exactly what the CI
+// server-smoke job keys on.
+//
+// Usage:
+//
+//	loadgen -base http://127.0.0.1:8487 -scale 10 -queries 64 -parallel 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"lagraph/internal/svc"
+)
+
+type result struct {
+	algo     string
+	checksum string
+	code     int
+	err      error
+}
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8487", "daemon base URL")
+	scale := flag.Int("scale", 10, "generator scale for the test graph")
+	queries := flag.Int("queries", 64, "total queries to fire")
+	parallel := flag.Int("parallel", 8, "concurrent query workers")
+	name := flag.String("name", "loadgen", "graph name to register")
+	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to come up")
+	flag.Parse()
+
+	if err := run(*base, *name, *scale, *queries, *parallel, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println("loadgen: OK")
+}
+
+func run(base, name string, scale, queries, parallel int, wait time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// 1. Wait for liveness.
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not healthy within %v: %v", wait, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// 2. Load a deterministic synthetic graph (replace, so reruns work).
+	load := map[string]any{
+		"name": name, "undirected": true, "replace": true,
+		"generator": map[string]any{"kind": "powerlaw", "scale": scale, "edge_factor": 8, "seed": 42},
+	}
+	code, body, err := postJSON(client, base+"/graphs", load)
+	if err != nil {
+		return fmt.Errorf("load: %v", err)
+	}
+	if code/100 != 2 {
+		return fmt.Errorf("load: status %d: %s", code, body)
+	}
+
+	// 3. Fire the query mix concurrently; every query must be 2xx.
+	mix := []map[string]any{
+		{"algo": "bfs", "src": 0},
+		{"algo": "parents", "src": 0},
+		{"algo": "sssp", "src": 0},
+		{"algo": "pagerank"},
+		{"algo": "cc"},
+		{"algo": "tc"},
+	}
+	jobs := make(chan int)
+	results := make(chan result, queries)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := mix[i%len(mix)]
+				r := result{algo: q["algo"].(string)}
+				code, body, err := postJSON(client, base+"/graphs/"+name+"/query", q)
+				r.code, r.err = code, err
+				if err == nil && code == 200 {
+					var qr struct {
+						Checksum string `json:"checksum"`
+					}
+					if jerr := json.Unmarshal(body, &qr); jerr != nil {
+						r.err = fmt.Errorf("bad query body: %v", jerr)
+					}
+					r.checksum = qr.Checksum
+				}
+				results <- r
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < queries; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Identical algo+params must give identical checksums: bitwise
+	// determinism is part of the service contract.
+	sums := map[string]string{}
+	ok := 0
+	for r := range results {
+		if r.err != nil {
+			return fmt.Errorf("query %s: %v", r.algo, r.err)
+		}
+		if r.code != 200 {
+			return fmt.Errorf("query %s: status %d", r.algo, r.code)
+		}
+		if r.checksum != "" {
+			if prev, seen := sums[r.algo]; seen && prev != r.checksum {
+				return fmt.Errorf("query %s: nondeterministic checksum %s vs %s", r.algo, r.checksum, prev)
+			}
+			sums[r.algo] = r.checksum
+		}
+		ok++
+	}
+	fmt.Printf("loadgen: %d/%d queries OK across %d algorithms\n", ok, queries, len(mix))
+
+	// 4. Validate /metrics: well-formed Prometheus text with the required
+	// families and coherent histograms.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	if err := svc.ValidateMetrics(resp.Body); err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	fmt.Println("loadgen: /metrics validated")
+	return nil
+}
+
+func postJSON(client *http.Client, url string, v any) (int, []byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}

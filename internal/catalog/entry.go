@@ -1,0 +1,148 @@
+package catalog
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lagraph/internal/lagraph"
+)
+
+// Properties is the cached, cheaply observable state of an entry: the
+// structural facts algorithms and operators keep asking for, computed
+// once per generation at warm time instead of per query.
+type Properties struct {
+	Name       string `json:"name"`
+	Directed   bool   `json:"directed"`
+	N          int    `json:"n"`
+	NEdges     int    `json:"nedges"`
+	NSelfLoops int    `json:"nself_loops"`
+	Empty      bool   `json:"empty"`
+	// Symmetric reports structural+numerical symmetry of the adjacency;
+	// computed at warm time (one transpose + compare), then served from
+	// the cache until the next mutation.
+	Symmetric bool `json:"symmetric"`
+	// Generation counts mutations: it bumps on every Update, so clients
+	// can detect that cached derived data went stale.
+	Generation uint64 `json:"generation"`
+	// Warm reports whether the lazy caches are currently materialized.
+	Warm bool `json:"warm"`
+}
+
+// Entry wraps one registered graph with the reader/writer protocol
+// described in the package comment.
+type Entry struct {
+	name string
+	cat  *Catalog
+
+	mu   sync.RWMutex
+	g    *lagraph.Graph
+	warm bool
+	// gen is atomic (not guarded by mu) so Generation can be read from
+	// inside a View callback — a nested RLock would deadlock against a
+	// queued writer. Writes still happen only under the exclusive lock.
+	gen atomic.Uint64
+
+	// warm-time flags (valid while warm is true, kept until next Update
+	// so Properties of a cold entry can still report the last-known
+	// values alongside Warm=false).
+	symmetric bool
+	selfLoops int
+}
+
+// Name returns the registered name.
+func (e *Entry) Name() string { return e.name }
+
+// View runs fn with the entry's read lock held and every lazy structure
+// of the graph materialized: fn may run any read-only algorithm (and the
+// lazy property getters AT/OutDegree/InDegree/PatternInt64, which are
+// all warm cache hits) concurrently with other View calls. fn must not
+// mutate the graph; mutations go through Update.
+func (e *Entry) View(fn func(g *lagraph.Graph) error) error {
+	for {
+		e.mu.RLock()
+		if e.warm {
+			defer e.mu.RUnlock()
+			e.cat.views.Add(1)
+			return fn(e.g)
+		}
+		e.mu.RUnlock()
+		e.warmNow()
+		// Loop: a writer may have slipped in between warmNow's unlock and
+		// our RLock; re-check warm under the read lock.
+	}
+}
+
+// Update runs fn with the exclusive lock held; fn may mutate the graph
+// freely (SetElement on the adjacency, structural edits, even swapping
+// e.g the matrix). On exit — success or error — the entry invalidates the
+// property cache, assembles all pending tuples (Wait before publish:
+// readers must never race a lazy assembly), and bumps the generation.
+func (e *Entry) Update(fn func(g *lagraph.Graph) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err := fn(e.g)
+	// Even a failed update may have mutated: always invalidate + publish.
+	e.g.InvalidateCache()
+	e.g.A.Wait()
+	e.warm = false
+	e.gen.Add(1)
+	e.cat.updates.Add(1)
+	return err
+}
+
+// Properties returns the entry's cached structural facts. On a warm entry
+// this is lock-shared and touches no lazy state; on a cold entry it warms
+// first (the service's info endpoint doubles as a prefetch).
+func (e *Entry) Properties() Properties {
+	var p Properties
+	_ = e.View(func(g *lagraph.Graph) error {
+		p = Properties{
+			Name:       e.name,
+			Directed:   g.Kind == lagraph.Directed,
+			N:          g.N(),
+			NEdges:     g.NEdges(),
+			NSelfLoops: e.selfLoops,
+			Empty:      g.NEdges() == 0,
+			Symmetric:  e.symmetric,
+			Generation: e.gen.Load(),
+			Warm:       e.warm,
+		}
+		return nil
+	})
+	return p
+}
+
+// Generation returns the current mutation count. It is lock-free and
+// therefore safe to call from inside a View callback.
+func (e *Entry) Generation() uint64 {
+	return e.gen.Load()
+}
+
+// warmNow materializes every lazy structure under the exclusive lock.
+func (e *Entry) warmNow() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.warm {
+		return // another reader warmed while we waited
+	}
+	g := e.g
+	// 1. Pending-tuple model: assemble buffered updates first, then build
+	// the column-oriented cache pull/dot kernels will want.
+	g.A.Materialize()
+	// 2. Graph property cache: transpose (directed only — undirected AT
+	// aliases A), degree vectors, int64 pattern, self-loop count. Each
+	// getter caches into g; materialize their own lazy state too so a
+	// reader's access is a pure load.
+	at := g.AT()
+	if at != g.A {
+		at.Materialize()
+	}
+	g.OutDegree().Wait()
+	g.InDegree().Wait()
+	g.PatternInt64().Materialize()
+	e.selfLoops = g.NSelfLoops()
+	// 3. Structural flags computed once per generation.
+	e.symmetric = g.NEdges() == 0 || g.IsSymmetric()
+	e.warm = true
+	e.cat.warms.Add(1)
+}

@@ -23,6 +23,16 @@ func (a *Matrix[T]) materializedCSC() *cs[T] {
 	return a.csc
 }
 
+// Materialize completes every lazy structure of the matrix: pending
+// tuples and zombies are assembled and the column-oriented cache is
+// built. After Materialize returns, read-only operations — including the
+// pull and dot kernels that want column access — never mutate the matrix,
+// so it can be shared by any number of concurrent readers. This is the
+// "Wait before publish" step of the catalog locking protocol.
+func (a *Matrix[T]) Materialize() {
+	a.materializedCSC()
+}
+
 // transposeParallelMin is the entry count above which transposeCS runs the
 // two-pass parallel bucket transpose instead of the serial one.
 const transposeParallelMin = 1 << 14

@@ -32,6 +32,13 @@ var (
 	// ErrEmptyObject is returned by reductions without an identity over an
 	// object holding no entries.
 	ErrEmptyObject = errors.New("grb: empty object")
+	// ErrCanceled is returned when a caller-supplied deadline or
+	// cancellation interrupts a multi-step computation. Kernels themselves
+	// never observe deadlines (they are deterministic functions of their
+	// operands); the algorithm layers check a context between whole
+	// GraphBLAS operations and wrap this sentinel, so callers match with
+	// errors.Is across every layer.
+	ErrCanceled = errors.New("grb: operation canceled")
 )
 
 // Int is the constraint satisfied by the built-in signed and unsigned

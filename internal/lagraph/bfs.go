@@ -74,6 +74,9 @@ func BFSLevels(g *Graph, src int, opts ...Option) (*grb.Vector[int32], error) {
 	logical := grb.Semiring[bool, float64, bool]{Add: grb.LOrMonoid(), Mul: grb.First[bool, float64]()}
 	depth := int32(0)
 	for {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		nf := frontier.Nvals()
 		if nf == 0 {
 			break
@@ -146,6 +149,9 @@ func BFSParents(g *Graph, src int, opts ...Option) (*grb.Vector[int64], error) {
 	anyFirst := grb.Semiring[int64, float64, int64]{Add: grb.AnyMonoid[int64](), Mul: grb.First[int64, float64]()}
 	iter := 0
 	for {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		nf := frontier.Nvals()
 		if nf == 0 {
 			break
@@ -197,6 +203,9 @@ func BFSBoth(g *Graph, src int, opts ...Option) (*grb.Vector[int32], *grb.Vector
 	anyFirst := grb.Semiring[int64, float64, int64]{Add: grb.AnyMonoid[int64](), Mul: grb.First[int64, float64]()}
 	depth := int32(0)
 	for {
+		if err := cfg.canceled(); err != nil {
+			return nil, nil, err
+		}
 		nf := frontier.Nvals()
 		if nf == 0 {
 			break

@@ -13,7 +13,8 @@ import (
 // ConnectedComponentsFastSV labels every vertex with the smallest vertex
 // id in its (weakly) connected component. Directed graphs are treated as
 // undirected by also propagating along transposed edges.
-func ConnectedComponentsFastSV(g *Graph) (*grb.Vector[int64], error) {
+func ConnectedComponentsFastSV(g *Graph, opts ...Option) (*grb.Vector[int64], error) {
+	cfg := newOptions(opts)
 	n := g.N()
 	// f: parent pointer vector, dense, initialized to self.
 	f := grb.MustVector[int64](n)
@@ -25,9 +26,12 @@ func ConnectedComponentsFastSV(g *Graph) (*grb.Vector[int64], error) {
 
 	minSecond := grb.Semiring[float64, int64, int64]{Add: grb.MinMonoid[int64](), Mul: grb.Second[float64, int64]()}
 
-	ob := obs.Active()
+	ob := cfg.observer()
 	gp := f.Dup() // grandparent
 	for iter := 0; iter <= n; iter++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		var t0 int64
 		if ob != nil {
 			t0 = ob.Now()
@@ -113,7 +117,8 @@ func vectorsEqual(a, b *grb.Vector[int64]) bool {
 // ConnectedComponentsLabelProp iterates l ← min(l, min-neighbour(l))
 // until a fixed point: the simplest CC formulation, used as an
 // independent oracle.
-func ConnectedComponentsLabelProp(g *Graph) (*grb.Vector[int64], error) {
+func ConnectedComponentsLabelProp(g *Graph, opts ...Option) (*grb.Vector[int64], error) {
+	cfg := newOptions(opts)
 	n := g.N()
 	ids := make([]int64, n)
 	for i := range ids {
@@ -122,6 +127,9 @@ func ConnectedComponentsLabelProp(g *Graph) (*grb.Vector[int64], error) {
 	l := grb.DenseVector(ids)
 	minSecond := grb.Semiring[float64, int64, int64]{Add: grb.MinMonoid[int64](), Mul: grb.Second[float64, int64]()}
 	for iter := 0; iter <= n; iter++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		prev := l.Dup()
 		if err := grb.MxV(l, (*grb.Vector[bool])(nil), grb.MinOp[int64](), minSecond, g.A, l, nil); err != nil {
 			return nil, err

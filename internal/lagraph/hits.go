@@ -46,6 +46,9 @@ func HITSWith(g *Graph, opts ...Option) (*HITSResult, error) {
 	plusSecond := grb.PlusSecond[float64]()
 
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		var t0 int64
 		if ob != nil {
 			t0 = ob.Now()

@@ -15,10 +15,11 @@ import (
 // algorithm: every candidate draws a score; vertices whose score beats
 // all neighbours' join the set; winners and their neighbours leave the
 // candidate pool.
-func MIS(g *Graph, seed int64) (*grb.Vector[bool], error) {
+func MIS(g *Graph, seed int64, opts ...Option) (*grb.Vector[bool], error) {
 	if err := g.requireUndirected(); err != nil {
 		return nil, err
 	}
+	cfg := newOptions(opts)
 	n := g.N()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -31,8 +32,11 @@ func MIS(g *Graph, seed int64) (*grb.Vector[bool], error) {
 	iset := grb.MustVector[bool](n)
 	maxSecond := grb.Semiring[float64, float64, float64]{Add: grb.MaxMonoid[float64](), Mul: grb.Second[float64, float64]()}
 
-	ob := obs.Active()
+	ob := cfg.observer()
 	for round := 0; round <= 2*n+64; round++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		nc := candidates.Nvals()
 		if nc == 0 {
 			return iset, nil

@@ -1,6 +1,9 @@
 package lagraph
 
 import (
+	"context"
+	"fmt"
+
 	"lagraph/internal/grb"
 	"lagraph/internal/obs"
 )
@@ -38,6 +41,15 @@ type Options struct {
 	PushPullRatio int
 	// Stats, when non-nil, receives per-iteration BFS statistics.
 	Stats *BFSStats
+	// Ctx, when non-nil, is checked between iterations of every
+	// algorithm loop: once it is done the algorithm abandons its local
+	// state and returns an error wrapping grb.ErrCanceled. Cancellation
+	// is clean — the input Graph and its cached properties are never
+	// mutated mid-iteration, so a canceled run leaves no torn state.
+	// Kernel code (internal/grb) never stores or checks a context; the
+	// context lives at the algorithm layer only (enforced by grblint's
+	// kernel-purity check).
+	Ctx context.Context
 }
 
 // Option mutates an Options; pass them variadically to entry points.
@@ -83,6 +95,22 @@ func (o *Options) tol(def float64) float64 {
 	return def
 }
 
+// canceled returns nil while the configured context (if any) is live, and
+// an error wrapping both grb.ErrCanceled and the context's own error once
+// it is done. Algorithm loops call it at the top of every iteration, so a
+// canceled request returns within one iteration of the cancellation.
+func (o *Options) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return fmt.Errorf("lagraph: %w: %w", grb.ErrCanceled, context.Cause(o.Ctx))
+	default:
+		return nil
+	}
+}
+
 // WithMaxIter caps the main iteration count.
 func WithMaxIter(n int) Option {
 	return func(o *Options) { o.MaxIter = n }
@@ -119,6 +147,13 @@ func WithDirection(d grb.Direction) Option {
 // DirAuto switches from push to pull.
 func WithPushPullRatio(r int) Option {
 	return func(o *Options) { o.PushPullRatio = r }
+}
+
+// WithContext bounds the algorithm by ctx: each iteration starts only
+// while ctx is live, and a done context makes the algorithm return an
+// error matching grb.ErrCanceled (and ctx's own cause) via errors.Is.
+func WithContext(ctx context.Context) Option {
+	return func(o *Options) { o.Ctx = ctx }
 }
 
 // WithStats records per-iteration traversal statistics into s.

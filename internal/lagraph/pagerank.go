@@ -63,6 +63,9 @@ func PageRankWith(g *Graph, opts ...Option) (*PageRankResult, error) {
 	plusSecond := grb.PlusSecond[float64]()
 
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		var t0 int64
 		if ob != nil {
 			t0 = ob.Now()

@@ -25,6 +25,9 @@ func SSSPBellmanFord(g *Graph, src int, opts ...Option) (*grb.Vector[float64], e
 	_ = d.SetElement(src, 0)
 	minPlus := grb.MinPlus[float64]()
 	for iter := 0; iter < cfg.maxIter(n); iter++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		prevN := d.Nvals()
 		prevSum, err := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), d)
 		if err != nil {
@@ -105,6 +108,9 @@ func ssspDelta(g *Graph, src int, delta float64, cfg *Options) (*grb.Vector[floa
 	minPlus := grb.MinPlus[float64]()
 
 	for step := 0; ; step++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		lo := float64(step) * delta
 		hi := lo + delta
 		// tBucket: tentative distances inside the current bucket.
@@ -188,7 +194,8 @@ func snapshotSum(v *grb.Vector[float64]) float64 {
 // D ← D min.+ D until a fixed point, starting from the adjacency with a
 // zero diagonal. O(n³ log n) worst case — intended for modest n, as in
 // the Solomonik-Buluç-Demmel formulation the paper cites [33].
-func APSP(g *Graph) (*grb.Matrix[float64], error) {
+func APSP(g *Graph, opts ...Option) (*grb.Matrix[float64], error) {
+	cfg := newOptions(opts)
 	n := g.N()
 	d := g.A.Dup()
 	// Zero diagonal: d(i,i) = 0.
@@ -203,6 +210,9 @@ func APSP(g *Graph) (*grb.Matrix[float64], error) {
 		maxIter++
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		prev := d.Nvals()
 		sum, err := grb.ReduceMatrixToScalar(grb.PlusMonoid[float64](), d)
 		if err != nil {

@@ -23,8 +23,12 @@ const (
 )
 
 // TriangleCount counts the triangles of an undirected graph.
-func TriangleCount(g *Graph, method TCMethod) (int64, error) {
+func TriangleCount(g *Graph, method TCMethod, opts ...Option) (int64, error) {
 	if err := g.requireUndirected(); err != nil {
+		return 0, err
+	}
+	cfg := newOptions(opts)
+	if err := cfg.canceled(); err != nil {
 		return 0, err
 	}
 	a := g.PatternInt64()
@@ -110,13 +114,14 @@ func trilTriu(a *grb.Matrix[int64]) (l, u *grb.Matrix[int64], err error) {
 // returns the truss adjacency with entries holding the per-edge support.
 // Formulation of Davis [36]: iterate C⟨C⟩ = C plus.pair C, then drop
 // edges with support < k-2.
-func KTruss(g *Graph, k int) (*grb.Matrix[int64], error) {
+func KTruss(g *Graph, k int, opts ...Option) (*grb.Matrix[int64], error) {
 	if err := g.requireUndirected(); err != nil {
 		return nil, err
 	}
 	if k < 3 {
 		return nil, ErrBadArgument
 	}
+	cfg := newOptions(opts)
 	n := g.N()
 	c := grb.MustMatrix[int64](n, n)
 	if err := grb.SelectMatrix[int64, bool](c, nil, nil, grb.OffDiag[int64](), g.PatternInt64(), nil); err != nil {
@@ -125,6 +130,9 @@ func KTruss(g *Graph, k int) (*grb.Matrix[int64], error) {
 	support := int64(k - 2)
 	plusPair := grb.PlusPair[int64, int64, int64]()
 	for iter := 0; iter <= n; iter++ {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		// C⟨C,replace⟩ = C plus.pair C : support of every surviving edge.
 		z := grb.MustMatrix[int64](n, n)
 		if err := grb.MxM(z, c, nil, plusPair, c, c, grb.DescR); err != nil {

@@ -1,0 +1,45 @@
+package grb
+
+// Networking is banned outright in kernel code, and contexts follow the
+// narrower storage rule: checking a caller's ctx between chunks of work
+// is the sanctioned cancellation seam, storing one (struct field or
+// package variable) is a violation.
+
+import (
+	"context"
+	"net" // WANT kernel-purity
+
+	_ "net/http" // WANT kernel-purity
+)
+
+var _ = net.JoinHostPort
+
+// storedCtx smuggles ambient state into kernel objects.
+type storedCtx struct {
+	ctx context.Context // WANT kernel-purity
+	n   int
+}
+
+// pkgCtx outlives every call that could have scoped it.
+var pkgCtx = context.Background() // WANT kernel-purity
+
+// chunkedKernel shows the sanctioned seam: ctx arrives as a parameter and
+// is only ever checked, never retained.
+func chunkedKernel(ctx context.Context, work []int) (int, error) {
+	sum := 0
+	for i, w := range work {
+		if i%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			default:
+			}
+		}
+		sum += w
+	}
+	return sum, nil
+}
+
+var _ = storedCtx{}
+var _ = pkgCtx
+var _ = chunkedKernel
