@@ -5,16 +5,24 @@
 // Usage:
 //
 //	lagraphd -addr :8487 -workers 8 -queue 32 -timeout 30s
+//	lagraphd -addr :8487 -data /var/lib/lagraphd -snapshot-interval 30s
+//
+// With -data the daemon is durable: graphs are periodically snapshotted
+// to checksummed frame files (see internal/store), reloaded on boot, and
+// flushed on graceful shutdown. A kill -9 at any moment loses at most
+// the mutations since the last snapshot — never a previously good copy.
 //
 // Endpoints:
 //
-//	POST   /graphs               load/generate a named graph
-//	GET    /graphs               list registered graphs
-//	GET    /graphs/{name}        cached properties of one graph
-//	DELETE /graphs/{name}        drop a graph
-//	POST   /graphs/{name}/query  run an algorithm (bfs, sssp, pagerank, ...)
-//	GET    /healthz              liveness
-//	GET    /metrics              Prometheus text format
+//	POST   /graphs                  load/generate a named graph
+//	GET    /graphs                  list registered graphs
+//	GET    /graphs/{name}           cached properties of one graph
+//	DELETE /graphs/{name}           drop a graph (and its durable snapshot)
+//	POST   /graphs/{name}/query     run an algorithm (bfs, sssp, pagerank, ...)
+//	POST   /graphs/{name}/snapshot  persist one graph now (requires -data)
+//	POST   /admin/flush             persist every dirty graph (requires -data)
+//	GET    /healthz                 liveness
+//	GET    /metrics                 Prometheus text format
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 
 	"lagraph/internal/catalog"
 	"lagraph/internal/obs"
+	"lagraph/internal/store"
 	"lagraph/internal/svc"
 )
 
@@ -41,6 +50,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper clamp on client-requested deadlines")
 	allowPath := flag.Bool("allow-path-load", false, "permit POST /graphs to read files from this host's filesystem")
+	dataDir := flag.String("data", "", "directory for durable graph snapshots (empty = volatile)")
+	snapEvery := flag.Duration("snapshot-interval", 30*time.Second, "how often to snapshot dirty graphs (0 disables the background snapshotter; requires -data)")
 	flag.Parse()
 
 	// Kernel-level op records from every query flow into one process-wide
@@ -48,12 +59,41 @@ func main() {
 	counters := &obs.Counters{}
 	obs.Set(counters)
 
-	srv := svc.New(catalog.New(), counters, svc.Config{
+	cat := catalog.New()
+	var pers *store.Persister
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lagraphd:", err)
+			os.Exit(1)
+		}
+		pers = store.NewPersister(st, cat)
+		// Boot-time recovery: replay every live snapshot. Corrupt files are
+		// quarantined to *.corrupt and logged — a damaged snapshot must
+		// never keep the daemon from serving the healthy ones.
+		events, err := pers.LoadAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lagraphd:", err)
+			os.Exit(1)
+		}
+		for _, ev := range events {
+			if ev.Err != nil {
+				log.Printf("lagraphd: recovery: quarantined %s (%s): %v", ev.File, ev.Name, ev.Err)
+				continue
+			}
+			log.Printf("lagraphd: recovered %q (gen %d, %d vertices, %d edges) from %s",
+				ev.Name, ev.Meta.Generation, ev.Meta.NRows, ev.Meta.NVals, ev.File)
+		}
+		log.Printf("lagraphd: durable store at %s (%d graphs)", *dataDir, len(cat.Names()))
+	}
+
+	srv := svc.New(cat, counters, svc.Config{
 		Workers:        *workers,
 		Queue:          *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		AllowPathLoad:  *allowPath,
+		Persister:      pers,
 	})
 
 	hs := &http.Server{
@@ -65,6 +105,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Background snapshotter: every interval, persist graphs whose
+	// generation moved since their last durable write. Runs off the query
+	// path — snapshots share each entry's read lock with queries.
+	if pers != nil && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					res, err := pers.FlushDirty()
+					if err != nil {
+						log.Printf("lagraphd: background snapshot: %v", err)
+					}
+					for _, sr := range res.Snapshotted {
+						log.Printf("lagraphd: snapshotted %q gen %d (%d bytes, %.1fms)",
+							sr.Name, sr.Generation, sr.Bytes, sr.ElapsedMS)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("lagraphd: listening on %s", *addr)
@@ -74,13 +139,23 @@ func main() {
 	select {
 	case <-ctx.Done():
 		// Graceful shutdown: stop accepting, let in-flight queries finish
-		// up to their own deadlines (bounded by max-timeout + slack).
+		// up to their own deadlines (bounded by max-timeout + slack), then
+		// flush dirty graphs so a clean stop loses nothing.
 		log.Printf("lagraphd: signal received, draining")
 		sctx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("lagraphd: shutdown: %v", err)
 			os.Exit(1)
+		}
+		if pers != nil {
+			res, err := pers.FlushDirty()
+			if err != nil {
+				log.Printf("lagraphd: final flush: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("lagraphd: final flush: %d snapshotted, %d already clean",
+				len(res.Snapshotted), res.Clean)
 		}
 		log.Printf("lagraphd: drained, bye")
 	case err := <-errc:

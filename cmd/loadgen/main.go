@@ -7,9 +7,18 @@
 // healthy; any protocol violation exits 1 — which is exactly what the CI
 // server-smoke job keys on.
 //
+// For crash-recovery smoke testing it can also flush the daemon's
+// durable store (-flush), record the per-algorithm checksums to a file
+// (-checksums-out), skip loading and query a graph recovered from disk
+// (-no-load), and assert the checksums match a previous run
+// (-checksums-in) — proving a restarted daemon serves bitwise-identical
+// results from its snapshots.
+//
 // Usage:
 //
 //	loadgen -base http://127.0.0.1:8487 -scale 10 -queries 64 -parallel 8
+//	loadgen -base ... -flush -checksums-out sums.json   # before kill -9
+//	loadgen -base ... -no-load -checksums-in sums.json  # after restart
 package main
 
 import (
@@ -40,16 +49,37 @@ func main() {
 	parallel := flag.Int("parallel", 8, "concurrent query workers")
 	name := flag.String("name", "loadgen", "graph name to register")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to come up")
+	noLoad := flag.Bool("no-load", false, "skip loading: the graph must already exist (e.g. recovered from -data)")
+	flush := flag.Bool("flush", false, "POST /admin/flush after the query mix (daemon must run with -data)")
+	sumsOut := flag.String("checksums-out", "", "write per-algorithm checksums to this JSON file")
+	sumsIn := flag.String("checksums-in", "", "require per-algorithm checksums to match this JSON file")
 	flag.Parse()
 
-	if err := run(*base, *name, *scale, *queries, *parallel, *wait); err != nil {
+	opts := options{
+		base: *base, name: *name, scale: *scale, queries: *queries,
+		parallel: *parallel, wait: *wait, noLoad: *noLoad, flush: *flush,
+		sumsOut: *sumsOut, sumsIn: *sumsIn,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 	fmt.Println("loadgen: OK")
 }
 
-func run(base, name string, scale, queries, parallel int, wait time.Duration) error {
+type options struct {
+	base, name      string
+	scale           int
+	queries         int
+	parallel        int
+	wait            time.Duration
+	noLoad, flush   bool
+	sumsOut, sumsIn string
+}
+
+func run(opts options) error {
+	base, name := opts.base, opts.name
+	scale, queries, parallel, wait := opts.scale, opts.queries, opts.parallel, opts.wait
 	client := &http.Client{Timeout: 2 * time.Minute}
 
 	// 1. Wait for liveness.
@@ -69,16 +99,30 @@ func run(base, name string, scale, queries, parallel int, wait time.Duration) er
 	}
 
 	// 2. Load a deterministic synthetic graph (replace, so reruns work).
-	load := map[string]any{
-		"name": name, "undirected": true, "replace": true,
-		"generator": map[string]any{"kind": "powerlaw", "scale": scale, "edge_factor": 8, "seed": 42},
-	}
-	code, body, err := postJSON(client, base+"/graphs", load)
-	if err != nil {
-		return fmt.Errorf("load: %v", err)
-	}
-	if code/100 != 2 {
-		return fmt.Errorf("load: status %d: %s", code, body)
+	// With -no-load the graph must already be registered — the daemon is
+	// expected to have recovered it from its durable store.
+	if opts.noLoad {
+		resp, err := client.Get(base + "/graphs/" + name)
+		if err != nil {
+			return fmt.Errorf("info: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("-no-load: graph %q not present (status %d): recovery failed", name, resp.StatusCode)
+		}
+		fmt.Printf("loadgen: graph %q already present (recovered)\n", name)
+	} else {
+		load := map[string]any{
+			"name": name, "undirected": true, "replace": true,
+			"generator": map[string]any{"kind": "powerlaw", "scale": scale, "edge_factor": 8, "seed": 42},
+		}
+		code, body, err := postJSON(client, base+"/graphs", load)
+		if err != nil {
+			return fmt.Errorf("load: %v", err)
+		}
+		if code/100 != 2 {
+			return fmt.Errorf("load: status %d: %s", code, body)
+		}
 	}
 
 	// 3. Fire the query mix concurrently; every query must be 2xx.
@@ -144,6 +188,48 @@ func run(base, name string, scale, queries, parallel int, wait time.Duration) er
 		ok++
 	}
 	fmt.Printf("loadgen: %d/%d queries OK across %d algorithms\n", ok, queries, len(mix))
+
+	// Cross-run determinism: compare against (or record for) another run,
+	// typically across a daemon kill and recovery.
+	if opts.sumsIn != "" {
+		raw, err := os.ReadFile(opts.sumsIn)
+		if err != nil {
+			return fmt.Errorf("checksums-in: %v", err)
+		}
+		want := map[string]string{}
+		if err := json.Unmarshal(raw, &want); err != nil {
+			return fmt.Errorf("checksums-in: %v", err)
+		}
+		for algo, sum := range want {
+			if got, have := sums[algo]; have && got != sum {
+				return fmt.Errorf("checksum drift after recovery: %s was %s, now %s", algo, sum, got)
+			}
+		}
+		fmt.Printf("loadgen: %d checksums identical to %s\n", len(want), opts.sumsIn)
+	}
+	if opts.sumsOut != "" {
+		raw, err := json.MarshalIndent(sums, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.sumsOut, raw, 0o644); err != nil {
+			return fmt.Errorf("checksums-out: %v", err)
+		}
+		fmt.Printf("loadgen: wrote %d checksums to %s\n", len(sums), opts.sumsOut)
+	}
+
+	// Flush the durable store so everything queried above is on disk
+	// before the caller kills the daemon.
+	if opts.flush {
+		code, body, err := postJSON(client, base+"/admin/flush", nil)
+		if err != nil {
+			return fmt.Errorf("flush: %v", err)
+		}
+		if code != 200 {
+			return fmt.Errorf("flush: status %d: %s", code, body)
+		}
+		fmt.Printf("loadgen: flushed: %s\n", bytes.TrimSpace(body))
+	}
 
 	// 4. Validate /metrics: well-formed Prometheus text with the required
 	// families and coherent histograms.

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -116,6 +117,35 @@ func (e *Entry) Properties() Properties {
 // therefore safe to call from inside a View callback.
 func (e *Entry) Generation() uint64 {
 	return e.gen.Load()
+}
+
+// SnapshotInfo describes the graph state a Snapshot captured.
+type SnapshotInfo struct {
+	// Generation is the mutation counter the snapshot pinned: the bytes
+	// written are exactly the graph as of this generation.
+	Generation uint64
+	Directed   bool
+	N, NEdges  int
+}
+
+// Snapshot serializes the graph to w under the shared read lock at a
+// pinned generation: concurrent View queries keep running while the
+// bytes stream out, and no Update can interleave (writers queue on the
+// exclusive lock). Because View warms the entry first, the adjacency has
+// no pending tuples and serialization is a pure read — two snapshots of
+// the same generation are bitwise identical.
+func (e *Entry) Snapshot(w io.Writer) (SnapshotInfo, error) {
+	var info SnapshotInfo
+	err := e.View(func(g *lagraph.Graph) error {
+		info = SnapshotInfo{
+			Generation: e.gen.Load(),
+			Directed:   g.Kind == lagraph.Directed,
+			N:          g.N(),
+			NEdges:     g.NEdges(),
+		}
+		return lagraph.WriteGraph(w, g)
+	})
+	return info, err
 }
 
 // warmNow materializes every lazy structure under the exclusive lock.

@@ -1,10 +1,22 @@
 package grb
 
 import (
+	"encoding/gob"
 	"errors"
 	"strings"
 	"testing"
 )
+
+// deserializeWire encodes a hand-built wire image and feeds it to the
+// matrix decoder, the shortest route to a syntactically valid gob stream
+// whose declared shape lies.
+func deserializeWire(img matrixWire[int64]) (*Matrix[int64], error) {
+	var b strings.Builder
+	if err := gob.NewEncoder(&b).Encode(img); err != nil {
+		return nil, err
+	}
+	return DeserializeMatrix[int64](strings.NewReader(b.String()))
+}
 
 // TestErrorTaxonomy locks the error-reporting contract: every public entry
 // point wraps its sentinel with %w (errors.Is must match) and prefixes the
@@ -86,6 +98,42 @@ func TestErrorTaxonomy(t *testing.T) {
 		}},
 		{"serialize nil", "serialize", ErrUninitialized, func() error {
 			return SerializeMatrix[int64](&strings.Builder{}, nil)
+		}},
+		{"deserialize garbage", "deserialize", ErrCorrupt, func() error {
+			_, err := DeserializeMatrix[int64](strings.NewReader("not a gob stream"))
+			return err
+		}},
+		{"deserialize truncated", "deserialize", ErrCorrupt, func() error {
+			var b strings.Builder
+			if err := SerializeMatrix(&b, MustMatrix[int64](3, 3)); err != nil {
+				return err
+			}
+			_, err := DeserializeMatrix[int64](strings.NewReader(b.String()[:b.Len()/2]))
+			return err
+		}},
+		{"deserialize shape lie", "deserialize", ErrCorrupt, func() error {
+			_, err := deserializeWire(matrixWire[int64]{
+				Version: serialVersion, NRows: 2, NCols: 2,
+				P: []int{0, 1}, I: []int{0}, X: []int64{1},
+			})
+			return err
+		}},
+		{"deserialize index range", "deserialize", ErrCorrupt, func() error {
+			_, err := deserializeWire(matrixWire[int64]{
+				Version: serialVersion, NRows: 2, NCols: 2,
+				P: []int{0, 1, 1}, I: []int{9}, X: []int64{1},
+			})
+			return err
+		}},
+		{"deserialize vector lie", "deserialize", ErrCorrupt, func() error {
+			var b strings.Builder
+			if err := gob.NewEncoder(&b).Encode(vectorWire[int64]{
+				Version: serialVersion, N: 4, Idx: []int{0, 2}, X: []int64{1},
+			}); err != nil {
+				return err
+			}
+			_, err := DeserializeVector[int64](strings.NewReader(b.String()))
+			return err
 		}},
 		{"build lengths", "build", ErrInvalidValue, func() error {
 			return MustMatrix[int64](2, 2).Build([]int{0}, []int{0, 1}, []int64{1}, nil)

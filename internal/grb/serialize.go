@@ -7,7 +7,6 @@ package grb
 
 import (
 	"encoding/gob"
-	"fmt"
 	"io"
 )
 
@@ -47,24 +46,60 @@ func SerializeMatrix[T any](w io.Writer, a *Matrix[T]) error {
 	return gob.NewEncoder(w).Encode(img)
 }
 
-// DeserializeMatrix reconstructs a matrix written by SerializeMatrix.
+// maxNilPointerRestore caps the pointer array synthesized for a wire image
+// that omitted P entirely. Every matrix the serializer produces carries a
+// non-empty pointer array, so a missing P with large declared dimensions is
+// only reachable from hostile bytes — without the cap, a 24-byte stream
+// declaring 2^60 rows would make the decoder allocate 8 EiB.
+const maxNilPointerRestore = 1 << 24
+
+// DeserializeMatrix reconstructs a matrix written by SerializeMatrix. The
+// input is untrusted: dimensions are validated against the array lengths
+// before any import, preallocation is capped against the declared sizes,
+// and every failure — a gob-level parse error, an unsupported version, a
+// shape lie, or out-of-range indices — wraps ErrCorrupt.
 func DeserializeMatrix[T any](r io.Reader) (*Matrix[T], error) {
 	var img matrixWire[T]
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return nil, fmt.Errorf("grb: deserialize: %w", err)
+		return nil, opErrorf("deserialize", ErrCorrupt, "%v", err)
 	}
 	if img.Version != serialVersion {
-		return nil, fmt.Errorf("grb: deserialize: unsupported version %d", img.Version)
+		return nil, opErrorf("deserialize", ErrCorrupt, "unsupported version %d", img.Version)
 	}
-	if img.NRows < 0 || img.NCols < 0 {
-		return nil, opErrorf("deserialize", ErrInvalidValue, "dims %d×%d", img.NRows, img.NCols)
+	if img.NRows < 0 || img.NCols < 0 || img.NRows+1 <= 0 {
+		return nil, opErrorf("deserialize", ErrCorrupt, "dims %d×%d", img.NRows, img.NCols)
+	}
+	// Reject shape lies before the importer sees the arrays: the declared
+	// dimensions must agree with the array lengths exactly.
+	if len(img.I) != len(img.X) {
+		return nil, opErrorf("deserialize", ErrCorrupt, "%d indices but %d values", len(img.I), len(img.X))
 	}
 	if img.Hyper {
-		return ImportHyperCSR(img.NRows, img.NCols, img.P, img.H, img.I, img.X, false)
+		if img.P == nil && img.H == nil {
+			img.P = []int{0} // empty hypersparse image
+		}
+		if img.H == nil {
+			img.H = []int{}
+		}
+		if len(img.P) != len(img.H)+1 {
+			return nil, opErrorf("deserialize", ErrCorrupt, "hyper pointer array len %d, hyper list len %d", len(img.P), len(img.H))
+		}
+		a, err := ImportHyperCSR(img.NRows, img.NCols, img.P, img.H, img.I, img.X, false)
+		if err != nil {
+			return nil, opErrorf("deserialize", ErrCorrupt, "%v", err)
+		}
+		return a, nil
 	}
-	// gob encodes empty slices as nil; restore the pointer array shape.
+	// gob omits empty slices; restore the pointer array shape, but never
+	// let declared-but-absent dimensions drive a giant allocation.
 	if img.P == nil {
+		if len(img.I) != 0 || img.NRows+1 > maxNilPointerRestore {
+			return nil, opErrorf("deserialize", ErrCorrupt, "missing pointer array for %d×%d with %d entries", img.NRows, img.NCols, len(img.I))
+		}
 		img.P = make([]int, img.NRows+1)
+	}
+	if len(img.P) != img.NRows+1 {
+		return nil, opErrorf("deserialize", ErrCorrupt, "pointer array len %d for %d rows", len(img.P), img.NRows)
 	}
 	if img.I == nil {
 		img.I = []int{}
@@ -72,7 +107,11 @@ func DeserializeMatrix[T any](r io.Reader) (*Matrix[T], error) {
 	if img.X == nil {
 		img.X = []T{}
 	}
-	return ImportCSR(img.NRows, img.NCols, img.P, img.I, img.X, false)
+	a, err := ImportCSR(img.NRows, img.NCols, img.P, img.I, img.X, false)
+	if err != nil {
+		return nil, opErrorf("deserialize", ErrCorrupt, "%v", err)
+	}
+	return a, nil
 }
 
 // SerializeVector writes a compact binary image of the vector.
@@ -85,14 +124,22 @@ func SerializeVector[T any](w io.Writer, v *Vector[T]) error {
 	return gob.NewEncoder(w).Encode(img)
 }
 
-// DeserializeVector reconstructs a vector written by SerializeVector.
+// DeserializeVector reconstructs a vector written by SerializeVector,
+// under the same untrusted-input discipline as DeserializeMatrix: shape
+// lies are rejected before import and every failure wraps ErrCorrupt.
 func DeserializeVector[T any](r io.Reader) (*Vector[T], error) {
 	var img vectorWire[T]
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return nil, fmt.Errorf("grb: deserialize: %w", err)
+		return nil, opErrorf("deserialize", ErrCorrupt, "%v", err)
 	}
 	if img.Version != serialVersion {
-		return nil, fmt.Errorf("grb: deserialize: unsupported version %d", img.Version)
+		return nil, opErrorf("deserialize", ErrCorrupt, "unsupported version %d", img.Version)
+	}
+	if img.N < 0 {
+		return nil, opErrorf("deserialize", ErrCorrupt, "dim %d", img.N)
+	}
+	if len(img.Idx) != len(img.X) {
+		return nil, opErrorf("deserialize", ErrCorrupt, "%d indices but %d values", len(img.Idx), len(img.X))
 	}
 	if img.Idx == nil {
 		img.Idx = []int{}
@@ -100,5 +147,9 @@ func DeserializeVector[T any](r io.Reader) (*Vector[T], error) {
 	if img.X == nil {
 		img.X = []T{}
 	}
-	return ImportSparse(img.N, img.Idx, img.X, false)
+	v, err := ImportSparse(img.N, img.Idx, img.X, false)
+	if err != nil {
+		return nil, opErrorf("deserialize", ErrCorrupt, "%v", err)
+	}
+	return v, nil
 }

@@ -39,6 +39,13 @@ var (
 	// GraphBLAS operations and wrap this sentinel, so callers match with
 	// errors.Is across every layer.
 	ErrCanceled = errors.New("grb: operation canceled")
+	// ErrCorrupt is returned when serialized bytes fail integrity or shape
+	// validation during deserialization: a truncated stream, a version the
+	// decoder does not speak, dimensions that contradict the array lengths,
+	// or indices out of range. Every Deserialize* failure wraps this
+	// sentinel, so a caller holding untrusted bytes needs exactly one
+	// errors.Is check to distinguish "bad bytes" from programming errors.
+	ErrCorrupt = errors.New("grb: corrupt serialized data")
 )
 
 // Int is the constraint satisfied by the built-in signed and unsigned

@@ -1,0 +1,167 @@
+// Golden-file suite: algorithm results on a fixed generator graph,
+// stored as checksummed store frames under testdata/golden/. Each run
+// recomputes every result at SetParallelism(1) and SetParallelism(8),
+// asserts the two are byte-identical (the repo's cross-parallelism
+// determinism contract), and then compares against the committed golden
+// frame — so a kernel change that silently perturbs results fails CI
+// with a bitwise diff, and a corrupted testdata file fails its CRC
+// before it can masquerade as a reference.
+//
+// Regenerate after an intentional semantic change:
+//
+//	go test ./internal/lagraph -run TestGolden -update-golden
+//
+// This file lives in package lagraph_test (external) because it imports
+// internal/store, which itself depends on lagraph via the catalog.
+package lagraph_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/store"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden frames from current results")
+
+// goldenGraph is the fixed fixture every golden case runs on: scale-8
+// power-law, seed 42, undirected, no self loops. Changing any of these
+// parameters invalidates every golden file.
+func goldenGraph(t testing.TB) *lagraph.Graph {
+	t.Helper()
+	n := 1 << 8
+	e := gen.PowerLaw(n, 8*n, 1.8, gen.Config{Seed: 42, Undirected: true, NoSelfLoops: true})
+	g, err := lagraph.NewGraph(e.Matrix(), lagraph.Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// goldenCases maps a stable case name to a function computing the
+// serialized result bytes. Results serialize through grb's gob codec
+// (vectors) or fixed-width little-endian (scalars) so "byte-identical"
+// is meaningful across runs and parallelism levels.
+func goldenCases() map[string]func(g *lagraph.Graph) ([]byte, error) {
+	serialize := func(err error, write func(w *bytes.Buffer) error) ([]byte, error) {
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if werr := write(&buf); werr != nil {
+			return nil, werr
+		}
+		return buf.Bytes(), nil
+	}
+	return map[string]func(g *lagraph.Graph) ([]byte, error){
+		"bfs-levels-src0": func(g *lagraph.Graph) ([]byte, error) {
+			v, err := lagraph.BFSLevels(g, 0)
+			return serialize(err, func(w *bytes.Buffer) error { return grb.SerializeVector(w, v) })
+		},
+		"bfs-parents-src0": func(g *lagraph.Graph) ([]byte, error) {
+			v, err := lagraph.BFSParents(g, 0)
+			return serialize(err, func(w *bytes.Buffer) error { return grb.SerializeVector(w, v) })
+		},
+		"sssp-src0": func(g *lagraph.Graph) ([]byte, error) {
+			v, err := lagraph.SSSP(g, 0)
+			return serialize(err, func(w *bytes.Buffer) error { return grb.SerializeVector(w, v) })
+		},
+		"pagerank": func(g *lagraph.Graph) ([]byte, error) {
+			r, err := lagraph.PageRank(g, 0.85, 1e-9, 200)
+			if err != nil {
+				return nil, err
+			}
+			return serialize(nil, func(w *bytes.Buffer) error { return grb.SerializeVector(w, r.Rank) })
+		},
+		"cc-fastsv": func(g *lagraph.Graph) ([]byte, error) {
+			v, err := lagraph.ConnectedComponentsFastSV(g)
+			return serialize(err, func(w *bytes.Buffer) error { return grb.SerializeVector(w, v) })
+		},
+		"tc-burkhardt": func(g *lagraph.Graph) ([]byte, error) {
+			n, err := lagraph.TriangleCount(g, lagraph.TCBurkhardt)
+			if err != nil {
+				return nil, err
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(n))
+			return b[:], nil
+		},
+	}
+}
+
+// computeAt runs one golden case at a given parallelism level on a fresh
+// graph (fresh so lazy caches built at another level cannot leak in).
+func computeAt(t *testing.T, p int, fn func(g *lagraph.Graph) ([]byte, error)) []byte {
+	t.Helper()
+	prev := grb.SetParallelism(p)
+	defer grb.SetParallelism(prev)
+	out, err := fn(goldenGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGolden(t *testing.T) {
+	cases := goldenCases()
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	dir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			serial := computeAt(t, 1, cases[name])
+			parallel := computeAt(t, 8, cases[name])
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("%s: SetParallelism(1) and SetParallelism(8) results differ (%d vs %d bytes)",
+					name, len(serial), len(parallel))
+			}
+
+			path := filepath.Join(dir, name+".snap")
+			if *updateGolden {
+				var frame bytes.Buffer
+				meta := store.Meta{Name: name, Kind: "golden", NVals: int64(len(serial))}
+				if err := store.WriteFrame(&frame, meta, serial); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, frame.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+			}
+			meta, want, err := store.ReadFrame(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("golden file corrupt: %v", err)
+			}
+			if meta.Name != name || meta.Kind != "golden" {
+				t.Fatalf("golden file metadata %+v does not match case %q", meta, name)
+			}
+			if !bytes.Equal(serial, want) {
+				t.Fatalf("%s: result (%d bytes) differs from golden frame (%d bytes); if the change is intentional, rerun with -update-golden",
+					name, len(serial), len(want))
+			}
+		})
+	}
+}

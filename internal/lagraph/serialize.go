@@ -1,0 +1,69 @@
+package lagraph
+
+// Binary serialization of whole graphs: a one-byte kind tag followed by
+// the grb matrix image. This is the payload format the durable store
+// (internal/store) frames with its checksummed envelope; keeping the
+// codec here means the Graph invariants (square adjacency, known kind)
+// are enforced at decode time by the same package that defines them.
+
+import (
+	"fmt"
+	"io"
+
+	"lagraph/internal/grb"
+)
+
+// graphKindTag is the serialized form of Kind. Values are part of the
+// on-disk format: never renumber, only append (and bump the store frame
+// version when doing so).
+const (
+	graphTagDirected   byte = 0
+	graphTagUndirected byte = 1
+)
+
+// WriteGraph writes the graph's kind and adjacency matrix to w. The
+// matrix image is the grb serialization, so the bytes carry pending-free,
+// assembled storage (SerializeMatrix waits first).
+func WriteGraph(w io.Writer, g *Graph) error {
+	if g == nil || g.A == nil {
+		return fmt.Errorf("lagraph: write graph: %w", grb.ErrUninitialized)
+	}
+	tag := graphTagDirected
+	if g.Kind == Undirected {
+		tag = graphTagUndirected
+	}
+	if _, err := w.Write([]byte{tag}); err != nil {
+		return fmt.Errorf("lagraph: write graph: %w", err)
+	}
+	return grb.SerializeMatrix(w, g.A)
+}
+
+// ReadGraph reconstructs a graph written by WriteGraph. The input is
+// untrusted: an unknown kind tag, a corrupt matrix image, or a
+// non-square adjacency all fail with an error wrapping grb.ErrCorrupt.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, fmt.Errorf("lagraph: read graph: missing kind tag: %w", grb.ErrCorrupt)
+	}
+	var kind Kind
+	switch tag[0] {
+	case graphTagDirected:
+		kind = Directed
+	case graphTagUndirected:
+		kind = Undirected
+	default:
+		return nil, fmt.Errorf("lagraph: read graph: unknown kind tag %d: %w", tag[0], grb.ErrCorrupt)
+	}
+	a, err := grb.DeserializeMatrix[float64](r)
+	if err != nil {
+		return nil, fmt.Errorf("lagraph: read graph: %w", err)
+	}
+	g, err := NewGraph(a, kind)
+	if err != nil {
+		// A non-square adjacency can only come from bytes the serializer
+		// never wrote: report it as corruption, not an API error.
+		return nil, fmt.Errorf("lagraph: read graph: %v: %w", err, grb.ErrCorrupt)
+	}
+	return g, nil
+}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// testingAllocBytes reads the cumulative heap allocation counter; deltas
+// across a decode bound how much a hostile input made the decoder
+// allocate.
+func testingAllocBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.TotalAlloc)
+}
+
+func mustFrame(t testing.TB, meta Meta, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, meta, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	meta := Meta{Name: "g", Kind: "directed", NRows: 10, NCols: 10, NVals: 37, Generation: 4}
+	payload := []byte("the payload bytes")
+	frame := mustFrame(t, meta, payload)
+
+	got, p, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta round-trip: %+v != %+v", got, meta)
+	}
+	if !bytes.Equal(p, payload) {
+		t.Fatalf("payload round-trip: %q != %q", p, payload)
+	}
+
+	// Empty payload is legal.
+	frame = mustFrame(t, Meta{Name: "empty", Kind: "x"}, nil)
+	if _, p, err = ReadFrame(bytes.NewReader(frame)); err != nil || len(p) != 0 {
+		t.Fatalf("empty payload: %v, %d bytes", err, len(p))
+	}
+}
+
+// TestFrameEveryBitFlipDetected is the integrity contract: the checksum
+// covers every byte before the trailer and the trailer protects itself by
+// disagreeing with the recomputation, so flipping any single bit anywhere
+// in the frame must fail with ErrCorrupt.
+func TestFrameEveryBitFlipDetected(t *testing.T) {
+	frame := mustFrame(t, Meta{Name: "g", Kind: "undirected", NVals: 3, Generation: 9}, []byte("payload-payload"))
+	for pos := 0; pos < len(frame); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), frame...)
+			mut[pos] ^= 1 << bit
+			_, _, err := ReadFrame(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("flip byte %d bit %d: accepted", pos, bit)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: error %v does not wrap ErrCorrupt", pos, bit, err)
+			}
+		}
+	}
+}
+
+// TestFrameEveryTruncationDetected cuts the frame at every length.
+func TestFrameEveryTruncationDetected(t *testing.T) {
+	frame := mustFrame(t, Meta{Name: "g", Kind: "directed"}, []byte("0123456789"))
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := ReadFrame(bytes.NewReader(frame[:n])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncate to %d: %v", n, err)
+		}
+	}
+}
+
+func TestFrameHostileHeaders(t *testing.T) {
+	base := mustFrame(t, Meta{Name: "g", Kind: "k"}, []byte("p"))
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"future version", func(b []byte) []byte { b[8] = 99; return b }},
+		{"meta length over cap", func(b []byte) []byte {
+			b[12], b[13], b[14], b[15] = 0xff, 0xff, 0xff, 0x7f
+			return b
+		}},
+		{"payload length into exabytes", func(b []byte) []byte {
+			b[16], b[23] = 0xff, 0x7f
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		mut := tc.mut(append([]byte(nil), base...))
+		if _, _, err := ReadFrame(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	// Arbitrary non-frame bytes.
+	if _, _, err := ReadFrame(strings.NewReader("not a frame at all, definitely")); !errors.Is(err, ErrCorrupt) {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); !errors.Is(err, ErrCorrupt) {
+		t.Error("empty input accepted")
+	}
+}
+
+// TestFrameLyingLengthDoesNotAllocate: a 24-byte header declaring an
+// exabyte payload must fail from lack of data, not attempt the
+// allocation. The alloc bound is enforced by reading through a reader
+// that yields nothing after the header.
+func TestFrameLyingLengthDoesNotAllocate(t *testing.T) {
+	frame := mustFrame(t, Meta{Name: "g"}, []byte("p"))
+	hdr := append([]byte(nil), frame[:frameHeaderLen]...)
+	// Declare a payload of 2^60 bytes.
+	hdr[16], hdr[17], hdr[18], hdr[19] = 0, 0, 0, 0
+	hdr[23] = 0x10
+	var before, after int64
+	before = testingAllocBytes()
+	_, _, err := ReadFrame(io.MultiReader(bytes.NewReader(hdr), bytes.NewReader(frame[frameHeaderLen:])))
+	after = testingAllocBytes()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying length: %v", err)
+	}
+	if grew := after - before; grew > 16<<20 {
+		t.Fatalf("decoder allocated %d bytes for a declared-exabyte payload", grew)
+	}
+}
+
+func TestEscapeName(t *testing.T) {
+	cases := map[string]string{
+		"simple":       "simple",
+		"with.dots":    "with.dots",
+		".hidden":      "_2ehidden",
+		"..":           "_2e.",
+		"a/b":          "a_2fb",
+		"a_2fb":        "a_5f2fb", // escaping the escape char prevents collisions
+		"":             "_",
+		"UPPER-low_9":  "UPPER-low_5f9",
+		"sp ace\x00nl": "sp_20ace_00nl",
+	}
+	seen := map[string]string{}
+	for in, want := range cases {
+		got := escapeName(in)
+		if got != want {
+			t.Errorf("escapeName(%q) = %q, want %q", in, got, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("collision: %q and %q both escape to %q", prev, in, got)
+		}
+		seen[got] = in
+	}
+}

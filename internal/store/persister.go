@@ -1,0 +1,168 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lagraph/internal/catalog"
+	"lagraph/internal/lagraph"
+)
+
+// Persister ties a catalog to a store: it knows which generation of each
+// graph is durably on disk, snapshots dirty entries (generation-counter
+// diff), and replays the store into the catalog on boot. Snapshots run
+// under the entry's shared read lock (catalog.Entry.Snapshot), so
+// concurrent queries keep executing while a graph serializes.
+type Persister struct {
+	st  *Store
+	cat *catalog.Catalog
+
+	mu    sync.Mutex
+	saved map[string]uint64 // name → generation last durably written
+}
+
+// NewPersister wires a store to a catalog.
+func NewPersister(st *Store, cat *catalog.Catalog) *Persister {
+	return &Persister{st: st, cat: cat, saved: map[string]uint64{}}
+}
+
+// Store exposes the underlying store (metrics, tests).
+func (p *Persister) Store() *Store { return p.st }
+
+// SnapResult reports one completed snapshot.
+type SnapResult struct {
+	Name       string  `json:"name"`
+	Generation uint64  `json:"generation"`
+	Bytes      int64   `json:"bytes"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// Written is false when a concurrent snapshot of a newer generation
+	// made this one redundant.
+	Written bool `json:"written"`
+}
+
+// LoadAll replays every stored snapshot into the catalog. Corrupt or
+// undecodable snapshots are quarantined by the store and reported in the
+// events; they never abort the boot. Freshly loaded entries are marked
+// clean, so a restart does not immediately re-snapshot everything.
+func (p *Persister) LoadAll() ([]RecoveryEvent, error) {
+	events, err := p.st.LoadAll(func(meta Meta, payload []byte) error {
+		g, gerr := lagraph.ReadGraph(bytes.NewReader(payload))
+		if gerr != nil {
+			return gerr
+		}
+		if got := kindString(g.Kind == lagraph.Directed); got != meta.Kind {
+			return corruptf("snapshot %q: payload kind %q contradicts metadata %q", meta.Name, got, meta.Kind)
+		}
+		e, aerr := p.cat.Add(meta.Name, g)
+		if aerr != nil {
+			return fmt.Errorf("store: recover %q: %w", meta.Name, aerr)
+		}
+		p.mu.Lock()
+		p.saved[meta.Name] = e.Generation()
+		p.mu.Unlock()
+		return nil
+	})
+	return events, err
+}
+
+// Dirty returns the names whose in-memory generation differs from the
+// last durably saved one (including graphs never saved at all), sorted.
+func (p *Persister) Dirty() []string {
+	var dirty []string
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, name := range p.cat.Names() {
+		e, err := p.cat.Get(name)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		if gen, ok := p.saved[name]; !ok || gen != e.Generation() {
+			dirty = append(dirty, name)
+		}
+	}
+	sort.Strings(dirty)
+	return dirty
+}
+
+// SnapshotOne serializes the named graph at a pinned generation and saves
+// it durably. Queries sharing the entry's read lock keep running.
+func (p *Persister) SnapshotOne(name string) (SnapResult, error) {
+	e, err := p.cat.Get(name)
+	if err != nil {
+		return SnapResult{}, err
+	}
+	t0 := time.Now()
+	var buf bytes.Buffer
+	info, err := e.Snapshot(&buf)
+	if err != nil {
+		p.st.snapshotErrors.Add(1)
+		return SnapResult{}, fmt.Errorf("store: snapshot %q: %w", name, err)
+	}
+	kind := kindString(info.Directed)
+	written, err := p.st.Save(Meta{
+		Name: name, Kind: kind,
+		NRows: int64(info.N), NCols: int64(info.N), NVals: int64(info.NEdges),
+		Generation: info.Generation,
+	}, buf.Bytes())
+	if err != nil {
+		return SnapResult{}, err
+	}
+	elapsed := time.Since(t0)
+	p.st.snapshotNanos.Add(int64(elapsed))
+	p.mu.Lock()
+	if gen, ok := p.saved[name]; !ok || info.Generation > gen || written {
+		p.saved[name] = info.Generation
+	}
+	p.mu.Unlock()
+	return SnapResult{
+		Name: name, Generation: info.Generation, Bytes: int64(buf.Len()),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond), Written: written,
+	}, nil
+}
+
+// FlushResult reports one FlushDirty pass.
+type FlushResult struct {
+	Snapshotted []SnapResult `json:"snapshotted"`
+	Clean       int          `json:"clean"` // entries already durable
+}
+
+// FlushDirty snapshots every dirty graph. Per-graph failures are joined
+// into the returned error but do not stop the sweep; a graph dropped
+// between the dirty scan and its snapshot is skipped silently.
+func (p *Persister) FlushDirty() (FlushResult, error) {
+	dirty := p.Dirty()
+	res := FlushResult{Clean: len(p.cat.Names()) - len(dirty)}
+	var errs []error
+	for _, name := range dirty {
+		sr, err := p.SnapshotOne(name)
+		if err != nil {
+			if errors.Is(err, catalog.ErrNotFound) {
+				continue
+			}
+			errs = append(errs, err)
+			continue
+		}
+		res.Snapshotted = append(res.Snapshotted, sr)
+	}
+	return res, errors.Join(errs...)
+}
+
+// Remove forgets a graph's durable copy (mirrors a catalog Drop).
+func (p *Persister) Remove(name string) error {
+	p.mu.Lock()
+	delete(p.saved, name)
+	p.mu.Unlock()
+	return p.st.Remove(name)
+}
+
+// kindString maps the graph kind onto the frame metadata vocabulary.
+func kindString(directed bool) string {
+	if directed {
+		return "directed"
+	}
+	return "undirected"
+}

@@ -1,0 +1,433 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// manifestName is the file naming the live snapshot per graph. It is
+// written last on every Save, so it is the single source of truth for
+// which snapshot files are current.
+const manifestName = "MANIFEST"
+
+// manifestEntry records one graph's live snapshot.
+type manifestEntry struct {
+	File       string `json:"file"`
+	Generation uint64 `json:"generation"`
+}
+
+// manifestDoc is the manifest payload.
+type manifestDoc struct {
+	Graphs map[string]manifestEntry `json:"graphs"`
+}
+
+// Stats aggregates store activity counters, rendered by /metrics.
+type Stats struct {
+	Graphs         int   `json:"graphs"`          // entries in the manifest
+	Snapshots      int64 `json:"snapshots"`       // successful Save calls
+	SnapshotBytes  int64 `json:"snapshot_bytes"`  // frame bytes durably written
+	SnapshotErrors int64 `json:"snapshot_errors"` // failed Save attempts
+	SnapshotNanos  int64 `json:"snapshot_nanos"`  // cumulative snapshot wall time
+	Loads          int64 `json:"loads"`           // snapshots read back successfully
+	Quarantined    int64 `json:"quarantined"`     // files renamed to *.corrupt
+}
+
+// Store manages the snapshot files and manifest under one data directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex // guards manifest (map + file) and file shuffling
+	manifest map[string]manifestEntry
+	manSeq   uint64 // manifest write sequence, stored as its Generation
+
+	snapshots      atomic.Int64
+	snapshotBytes  atomic.Int64
+	snapshotErrors atomic.Int64
+	snapshotNanos  atomic.Int64
+	loads          atomic.Int64
+	quarantined    atomic.Int64
+}
+
+// Open creates (if needed) the data directory and reads its manifest. A
+// missing manifest is normal on first boot; an unreadable or corrupt one
+// is quarantined and the directory is rescanned, adopting the
+// highest-generation valid snapshot per graph, so a damaged manifest
+// never strands good snapshot files.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, manifest: map[string]manifestEntry{}}
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		if err := s.rescan(); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	default:
+		meta, payload, ferr := ReadFrame(bytes.NewReader(data))
+		var doc manifestDoc
+		if ferr == nil && meta.Kind == "manifest" {
+			ferr = json.Unmarshal(payload, &doc)
+		} else if ferr == nil {
+			ferr = corruptf("manifest frame has kind %q", meta.Kind)
+		}
+		if ferr != nil {
+			s.quarantine(path)
+			if err := s.rescan(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		s.manSeq = meta.Generation
+		if doc.Graphs != nil {
+			s.manifest = doc.Graphs
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// rescan rebuilds the manifest from the snapshot files themselves: every
+// *.snap frame that validates contributes its (name, generation), the
+// highest generation per name wins, and anything unreadable is
+// quarantined. Called when the manifest is missing or corrupt.
+func (s *Store) rescan() error {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*.snap"))
+	if err != nil {
+		return fmt.Errorf("store: rescan %s: %w", s.dir, err)
+	}
+	sort.Strings(paths)
+	found := map[string]manifestEntry{}
+	for _, p := range paths {
+		meta, _, err := readFrameFile(p)
+		if err != nil {
+			s.quarantine(p)
+			continue
+		}
+		if cur, ok := found[meta.Name]; !ok || meta.Generation > cur.Generation {
+			found[meta.Name] = manifestEntry{File: filepath.Base(p), Generation: meta.Generation}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.manifest = found
+	return s.writeManifestLocked()
+}
+
+// Save durably writes one snapshot frame and repoints the manifest at it.
+// The generation guard makes concurrent saves of the same graph safe:
+// a Save carrying an older generation than the manifest's live entry is
+// dropped rather than allowed to roll the graph back.
+func (s *Store) Save(meta Meta, payload []byte) (written bool, err error) {
+	defer func() {
+		if err != nil {
+			s.snapshotErrors.Add(1)
+		}
+	}()
+	final := snapFileName(meta.Name, meta.Generation)
+	// Idempotence: a generation already durable (or superseded) needs no
+	// write — snapshot bytes at a given generation are deterministic, so
+	// the live file is already exactly this payload or newer.
+	s.mu.Lock()
+	if old, had := s.manifest[meta.Name]; had && old.Generation >= meta.Generation {
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.mu.Unlock()
+	if err := s.writeFileAtomic(final, meta, payload); err != nil {
+		return false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, had := s.manifest[meta.Name]
+	if had && old.Generation > meta.Generation {
+		// A newer snapshot landed while this one was serializing: keep it.
+		_ = os.Remove(filepath.Join(s.dir, final))
+		return false, nil
+	}
+	s.manifest[meta.Name] = manifestEntry{File: final, Generation: meta.Generation}
+	if err := s.writeManifestLocked(); err != nil {
+		// The manifest still names the old snapshot; the new file is
+		// orphaned but harmless (a future rescan would adopt it).
+		s.manifest[meta.Name] = old
+		if !had {
+			delete(s.manifest, meta.Name)
+		}
+		return false, err
+	}
+	if had && old.File != final {
+		_ = os.Remove(filepath.Join(s.dir, old.File))
+	}
+	s.snapshots.Add(1)
+	s.snapshotBytes.Add(int64(len(payload)))
+	return true, nil
+}
+
+// Load reads and validates the live snapshot for name. A missing name
+// returns fs.ErrNotExist; a damaged file returns an error wrapping
+// ErrCorrupt (the caller decides whether to quarantine — LoadAll does).
+func (s *Store) Load(name string) (Meta, []byte, error) {
+	s.mu.Lock()
+	ent, ok := s.manifest[name]
+	s.mu.Unlock()
+	if !ok {
+		return Meta{}, nil, fmt.Errorf("store: load %q: %w", name, fs.ErrNotExist)
+	}
+	meta, payload, err := readFrameFile(filepath.Join(s.dir, ent.File))
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	if meta.Name != name {
+		return Meta{}, nil, corruptf("snapshot %s claims name %q, manifest says %q", ent.File, meta.Name, name)
+	}
+	s.loads.Add(1)
+	return meta, payload, nil
+}
+
+// RecoveryEvent describes one graph's fate during LoadAll.
+type RecoveryEvent struct {
+	Name string
+	File string
+	Meta Meta
+	// Err is nil for a recovered graph; otherwise the validation or
+	// decode failure that quarantined the file.
+	Err error
+}
+
+// LoadAll replays every manifest-listed snapshot through decode. A frame
+// that fails validation — or whose decode callback rejects it — is
+// quarantined to <file>.corrupt and dropped from the manifest; recovery
+// of the remaining graphs continues. The returned events report, per
+// graph, whether it was recovered or quarantined; the error is only
+// non-nil for store-level failures (an unwritable manifest), never for
+// per-file corruption.
+func (s *Store) LoadAll(decode func(meta Meta, payload []byte) error) ([]RecoveryEvent, error) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.manifest))
+	for n := range s.manifest {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	entries := make(map[string]manifestEntry, len(names))
+	for _, n := range names {
+		entries[n] = s.manifest[n]
+	}
+	s.mu.Unlock()
+
+	var events []RecoveryEvent
+	dirty := false
+	for _, name := range names {
+		ent := entries[name]
+		path := filepath.Join(s.dir, ent.File)
+		meta, payload, err := readFrameFile(path)
+		if err == nil && meta.Name != name {
+			err = corruptf("snapshot %s claims name %q, manifest says %q", ent.File, meta.Name, name)
+		}
+		if err == nil {
+			err = decode(meta, payload)
+		}
+		ev := RecoveryEvent{Name: name, File: ent.File, Meta: meta, Err: err}
+		if err != nil {
+			s.quarantine(path)
+			s.mu.Lock()
+			delete(s.manifest, name)
+			s.mu.Unlock()
+			dirty = true
+		} else {
+			s.loads.Add(1)
+		}
+		events = append(events, ev)
+	}
+	if dirty {
+		s.mu.Lock()
+		err := s.writeManifestLocked()
+		s.mu.Unlock()
+		if err != nil {
+			return events, err
+		}
+	}
+	return events, nil
+}
+
+// Remove drops name's snapshot: manifest first (so a crash between the
+// two steps leaves an orphaned file, not a dangling manifest entry), then
+// the file.
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.manifest[name]
+	if !ok {
+		return nil
+	}
+	delete(s.manifest, name)
+	if err := s.writeManifestLocked(); err != nil {
+		s.manifest[name] = ent
+		return err
+	}
+	_ = os.Remove(filepath.Join(s.dir, ent.File))
+	return nil
+}
+
+// Names returns the manifest's graph names, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.manifest))
+	for n := range s.manifest {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generation returns the manifest's recorded generation for name.
+func (s *Store) Generation(name string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.manifest[name]
+	return ent.Generation, ok
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.manifest)
+	s.mu.Unlock()
+	return Stats{
+		Graphs:         n,
+		Snapshots:      s.snapshots.Load(),
+		SnapshotBytes:  s.snapshotBytes.Load(),
+		SnapshotErrors: s.snapshotErrors.Load(),
+		SnapshotNanos:  s.snapshotNanos.Load(),
+		Loads:          s.loads.Load(),
+		Quarantined:    s.quarantined.Load(),
+	}
+}
+
+// quarantine renames a damaged file to <file>.corrupt, preserving the
+// bytes for forensics while taking them out of the recovery path.
+func (s *Store) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		s.quarantined.Add(1)
+	}
+}
+
+// writeManifestLocked rewrites the manifest frame via temp-fsync-rename.
+// Callers hold s.mu.
+func (s *Store) writeManifestLocked() error {
+	s.manSeq++
+	payload, err := json.Marshal(manifestDoc{Graphs: s.manifest})
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	return s.writeFileAtomic(manifestName, Meta{
+		Name: manifestName, Kind: "manifest", Generation: s.manSeq,
+	}, payload)
+}
+
+// writeFileAtomic writes a frame to a same-directory temp file, fsyncs,
+// and renames it over final — the atom that makes mid-write crashes
+// invisible to readers.
+func (s *Store) writeFileAtomic(final string, meta Meta, payload []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", final, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write %s: %w", final, err)
+	}
+	if err := WriteFrame(tmp, meta, payload); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write %s: %w", final, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, final)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write %s: %w", final, err)
+	}
+	s.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the data directory so renames are durable; best-effort
+// (some filesystems reject directory fsync).
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// readFrameFile reads and validates one frame file in full.
+func readFrameFile(path string) (Meta, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	meta, payload, err := ReadFrame(f)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	// Trailing garbage after the trailer means the file is not the frame
+	// the writer produced.
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return Meta{}, nil, corruptf("%s: trailing bytes after frame", filepath.Base(path))
+	}
+	return meta, payload, nil
+}
+
+// snapFileName builds the on-disk name for a snapshot: an escaped graph
+// name plus the generation. The name in the frame metadata is
+// authoritative; the file name only needs to be unique and filesystem-safe.
+func snapFileName(name string, gen uint64) string {
+	return fmt.Sprintf("%s-%d.snap", escapeName(name), gen)
+}
+
+// escapeName hex-escapes every byte outside [A-Za-z0-9.-], including the
+// escape character itself, so distinct graph names can never collide on
+// disk and no name can traverse directories.
+func escapeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-':
+			b.WriteByte(c)
+		case c == '.' && i > 0:
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "_%02x", c)
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

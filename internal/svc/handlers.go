@@ -121,6 +121,10 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout // 504: deadline hit mid-query
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
+	case errors.Is(err, errNoPersistence):
+		return http.StatusNotImplemented // 501: daemon started without -data
+	case errors.Is(err, grb.ErrCorrupt):
+		return http.StatusInternalServerError // durable copy failed integrity checks
 	case errors.Is(err, lagraph.ErrBadArgument),
 		errors.Is(err, lagraph.ErrNotUndirected),
 		errors.Is(err, mmio.ErrFormat),
@@ -252,9 +256,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, e.Properties())
 }
 
-// handleDrop unregisters a graph.
+// handleDrop unregisters a graph and forgets its durable snapshot, so a
+// dropped graph does not resurrect on the next boot.
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) int {
-	if err := s.cat.Drop(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if err := s.cat.Drop(name); err != nil {
+		return fail(w, err)
+	}
+	if err := s.dropDurable(name); err != nil {
 		return fail(w, err)
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -484,6 +493,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	} {
 		p("lagraphd_grb_kernel_ops_total{kernel=%q} %d\n", kv.kernel, kv.n)
 	}
+
+	s.writeStoreMetrics(w)
 
 	p("# HELP lagraphd_http_requests_total Requests by endpoint and status class.\n# TYPE lagraphd_http_requests_total counter\n")
 	for _, ep := range endpoints {

@@ -1,0 +1,84 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lagraph/internal/store"
+)
+
+// errNoPersistence marks snapshot/flush requests against a daemon started
+// without -data (→ 501: the capability is not configured, not missing).
+var errNoPersistence = errors.New("svc: persistence disabled (start lagraphd with -data)")
+
+// handleSnapshot serializes one graph to the durable store at a pinned
+// generation. Concurrent queries keep running: the snapshot shares the
+// entry's read lock.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) int {
+	if s.cfg.Persister == nil {
+		return fail(w, errNoPersistence)
+	}
+	res, err := s.cfg.Persister.SnapshotOne(r.PathValue("name"))
+	if err != nil {
+		return fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+// handleFlush snapshots every dirty graph (admin endpoint; also invoked
+// by the daemon's graceful drain and periodic snapshotter).
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) int {
+	if s.cfg.Persister == nil {
+		return fail(w, errNoPersistence)
+	}
+	res, err := s.cfg.Persister.FlushDirty()
+	if err != nil {
+		// Partial failure: report what succeeded alongside the error so an
+		// operator can see which graphs are still volatile.
+		return writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":       err.Error(),
+			"snapshotted": res.Snapshotted,
+			"clean":       res.Clean,
+		})
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+// writeStoreMetrics renders the lagraphd_store_* families. No-op when the
+// daemon runs without persistence, so the family set is stable per
+// configuration.
+func (s *Server) writeStoreMetrics(w io.Writer) {
+	if s.cfg.Persister == nil {
+		return
+	}
+	st := s.cfg.Persister.Store().Stats()
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP lagraphd_store_graphs Graphs with a live durable snapshot.\n# TYPE lagraphd_store_graphs gauge\n")
+	p("lagraphd_store_graphs %d\n", st.Graphs)
+	p("# TYPE lagraphd_store_snapshots_total counter\n")
+	p("lagraphd_store_snapshots_total %d\n", st.Snapshots)
+	p("# TYPE lagraphd_store_snapshot_bytes_total counter\n")
+	p("lagraphd_store_snapshot_bytes_total %d\n", st.SnapshotBytes)
+	p("# TYPE lagraphd_store_snapshot_errors_total counter\n")
+	p("lagraphd_store_snapshot_errors_total %d\n", st.SnapshotErrors)
+	p("# TYPE lagraphd_store_snapshot_seconds_total counter\n")
+	p("lagraphd_store_snapshot_seconds_total %g\n", float64(st.SnapshotNanos)/1e9)
+	p("# TYPE lagraphd_store_loads_total counter\n")
+	p("lagraphd_store_loads_total %d\n", st.Loads)
+	p("# TYPE lagraphd_store_quarantined_total counter\n")
+	p("lagraphd_store_quarantined_total %d\n", st.Quarantined)
+}
+
+// dropDurable mirrors a catalog drop into the store so a dropped graph
+// does not resurrect on the next boot.
+func (s *Server) dropDurable(name string) error {
+	if s.cfg.Persister == nil {
+		return nil
+	}
+	return s.cfg.Persister.Remove(name)
+}
+
+// Persister exposes the durability layer (nil when running volatile).
+func (s *Server) Persister() *store.Persister { return s.cfg.Persister }

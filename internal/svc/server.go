@@ -27,6 +27,7 @@ import (
 
 	"lagraph/internal/catalog"
 	"lagraph/internal/obs"
+	"lagraph/internal/store"
 )
 
 // Config tunes the daemon.
@@ -47,6 +48,11 @@ type Config struct {
 	// files from the daemon's filesystem. Off by default: inline and
 	// generator sources only.
 	AllowPathLoad bool
+	// Persister, when non-nil, enables the durability endpoints
+	// (POST /graphs/{name}/snapshot, POST /admin/flush), mirrors graph
+	// drops into the store, and adds lagraphd_store_* metric families.
+	// Nil runs the daemon volatile, exactly as before persistence existed.
+	Persister *store.Persister
 }
 
 func (c Config) withDefaults() Config {
@@ -97,7 +103,7 @@ type endpointStats struct {
 }
 
 // endpoints is the fixed label set for per-endpoint metrics.
-var endpoints = []string{"load", "list", "info", "drop", "query", "healthz", "metrics"}
+var endpoints = []string{"load", "list", "info", "drop", "query", "snapshot", "flush", "healthz", "metrics"}
 
 // New creates a server around cat. counters may be nil, in which case a
 // fresh obs.Counters is created; the caller is responsible for installing
@@ -136,6 +142,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /graphs/{name}", s.instrument("info", s.handleInfo))
 	mux.HandleFunc("DELETE /graphs/{name}", s.instrument("drop", s.handleDrop))
 	mux.HandleFunc("POST /graphs/{name}/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /graphs/{name}/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /admin/flush", s.instrument("flush", s.handleFlush))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
