@@ -78,7 +78,11 @@ func main() {
 		}
 		for _, ev := range events {
 			if ev.Err != nil {
-				log.Printf("lagraphd: recovery: quarantined %s (%s): %v", ev.File, ev.Name, ev.Err)
+				if ev.Quarantined {
+					log.Printf("lagraphd: recovery: quarantined %s (%s): %v", ev.File, ev.Name, ev.Err)
+				} else {
+					log.Printf("lagraphd: recovery: skipped %s (%s), snapshot kept for a later boot: %v", ev.File, ev.Name, ev.Err)
+				}
 				continue
 			}
 			log.Printf("lagraphd: recovered %q (gen %d, %d vertices, %d edges) from %s",

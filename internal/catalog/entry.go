@@ -119,6 +119,15 @@ func (e *Entry) Generation() uint64 {
 	return e.gen.Load()
 }
 
+// SeedGeneration initializes the mutation counter of a freshly added
+// entry. Boot recovery uses it to make generations continue the durable
+// sequence persisted in a snapshot instead of restarting at zero, which
+// keeps them comparable across process restarts. Call only on an entry
+// that has not yet been mutated or snapshotted.
+func (e *Entry) SeedGeneration(gen uint64) {
+	e.gen.Store(gen)
+}
+
 // SnapshotInfo describes the graph state a Snapshot captured.
 type SnapshotInfo struct {
 	// Generation is the mutation counter the snapshot pinned: the bytes

@@ -23,11 +23,20 @@ type Persister struct {
 
 	mu    sync.Mutex
 	saved map[string]uint64 // name → generation last durably written
+	// removed counts Remove calls per name: a tombstone epoch. SnapshotOne
+	// pins the count before serializing and vetoes its store commit when a
+	// Remove interleaved, so a slow snapshot can never resurrect a graph
+	// dropped while it serialized.
+	removed map[string]uint64
+
+	// afterSerialize, when non-nil, runs between serialization and the
+	// store save. Test seam for the drop-vs-snapshot race.
+	afterSerialize func(name string)
 }
 
 // NewPersister wires a store to a catalog.
 func NewPersister(st *Store, cat *catalog.Catalog) *Persister {
-	return &Persister{st: st, cat: cat, saved: map[string]uint64{}}
+	return &Persister{st: st, cat: cat, saved: map[string]uint64{}, removed: map[string]uint64{}}
 }
 
 // Store exposes the underlying store (metrics, tests).
@@ -44,9 +53,13 @@ type SnapResult struct {
 	Written bool `json:"written"`
 }
 
-// LoadAll replays every stored snapshot into the catalog. Corrupt or
-// undecodable snapshots are quarantined by the store and reported in the
-// events; they never abort the boot. Freshly loaded entries are marked
+// LoadAll replays every stored snapshot into the catalog. Corrupt
+// snapshots are quarantined by the store and reported in the events; a
+// non-corruption failure (e.g. a catalog conflict) keeps the durable copy
+// and is reported without destroying state. Neither aborts the boot.
+// Recovered entries have their catalog generation seeded from the
+// snapshot's persisted generation — generations continue the durable
+// sequence across restarts instead of restarting at zero — and are marked
 // clean, so a restart does not immediately re-snapshot everything.
 func (p *Persister) LoadAll() ([]RecoveryEvent, error) {
 	events, err := p.st.LoadAll(func(meta Meta, payload []byte) error {
@@ -61,8 +74,9 @@ func (p *Persister) LoadAll() ([]RecoveryEvent, error) {
 		if aerr != nil {
 			return fmt.Errorf("store: recover %q: %w", meta.Name, aerr)
 		}
+		e.SeedGeneration(meta.Generation)
 		p.mu.Lock()
-		p.saved[meta.Name] = e.Generation()
+		p.saved[meta.Name] = meta.Generation
 		p.mu.Unlock()
 		return nil
 	})
@@ -89,12 +103,17 @@ func (p *Persister) Dirty() []string {
 }
 
 // SnapshotOne serializes the named graph at a pinned generation and saves
-// it durably. Queries sharing the entry's read lock keep running.
+// it durably. Queries sharing the entry's read lock keep running. The
+// save commit is vetoed if the graph is Removed while the snapshot
+// serializes, so a drop racing a flush can never resurrect the graph.
 func (p *Persister) SnapshotOne(name string) (SnapResult, error) {
 	e, err := p.cat.Get(name)
 	if err != nil {
 		return SnapResult{}, err
 	}
+	p.mu.Lock()
+	rem := p.removed[name]
+	p.mu.Unlock()
 	t0 := time.Now()
 	var buf bytes.Buffer
 	info, err := e.Snapshot(&buf)
@@ -102,20 +121,32 @@ func (p *Persister) SnapshotOne(name string) (SnapResult, error) {
 		p.st.snapshotErrors.Add(1)
 		return SnapResult{}, fmt.Errorf("store: snapshot %q: %w", name, err)
 	}
+	if p.afterSerialize != nil {
+		p.afterSerialize(name)
+	}
 	kind := kindString(info.Directed)
-	written, err := p.st.Save(Meta{
+	written, err := p.st.SaveIf(Meta{
 		Name: name, Kind: kind,
 		NRows: int64(info.N), NCols: int64(info.N), NVals: int64(info.NEdges),
 		Generation: info.Generation,
-	}, buf.Bytes())
+	}, buf.Bytes(), func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.removed[name] == rem
+	})
 	if err != nil {
 		return SnapResult{}, err
 	}
 	elapsed := time.Since(t0)
 	p.st.snapshotNanos.Add(int64(elapsed))
 	p.mu.Lock()
-	if gen, ok := p.saved[name]; !ok || info.Generation > gen || written {
-		p.saved[name] = info.Generation
+	// Only mark the graph clean if no Remove interleaved: a vetoed save
+	// must not leave a stale saved-generation behind for a future re-add
+	// of the same name.
+	if p.removed[name] == rem {
+		if gen, ok := p.saved[name]; !ok || info.Generation > gen || written {
+			p.saved[name] = info.Generation
+		}
 	}
 	p.mu.Unlock()
 	return SnapResult{
@@ -151,9 +182,14 @@ func (p *Persister) FlushDirty() (FlushResult, error) {
 	return res, errors.Join(errs...)
 }
 
-// Remove forgets a graph's durable copy (mirrors a catalog Drop).
-func (p *Persister) Remove(name string) error {
+// Remove forgets a graph's durable copy (mirrors a catalog Drop). The
+// tombstone bump happens before the store removal, so an in-flight
+// SnapshotOne that serialized the graph before the drop is vetoed at
+// commit time no matter how the two interleave. Reports whether a
+// durable copy existed.
+func (p *Persister) Remove(name string) (removed bool, err error) {
 	p.mu.Lock()
+	p.removed[name]++
 	delete(p.saved, name)
 	p.mu.Unlock()
 	return p.st.Remove(name)

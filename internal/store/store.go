@@ -19,14 +19,21 @@ import (
 // which snapshot files are current.
 const manifestName = "MANIFEST"
 
-// manifestEntry records one graph's live snapshot.
+// manifestEntry records one graph's live snapshot. Epoch is the store's
+// boot epoch at the time of the write: catalog generations restart at
+// zero in every process life, so generations are only comparable between
+// entries of the same epoch. Entries adopted by a rescan carry epoch 0
+// ("unknown"), which matches no live epoch.
 type manifestEntry struct {
 	File       string `json:"file"`
 	Generation uint64 `json:"generation"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
-// manifestDoc is the manifest payload.
+// manifestDoc is the manifest payload. Epoch records the boot epoch of
+// the last writer; each Open resumes from it + 1.
 type manifestDoc struct {
+	Epoch  uint64                   `json:"epoch,omitempty"`
 	Graphs map[string]manifestEntry `json:"graphs"`
 }
 
@@ -45,6 +52,10 @@ type Stats struct {
 // All methods are safe for concurrent use.
 type Store struct {
 	dir string
+
+	// epoch is this Open's boot epoch: one more than the epoch persisted
+	// by the previous life's manifest. Immutable after Open.
+	epoch uint64
 
 	mu       sync.Mutex // guards manifest (map + file) and file shuffling
 	manifest map[string]manifestEntry
@@ -72,6 +83,7 @@ func Open(dir string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
+		s.epoch = 1
 		if err := s.rescan(); err != nil {
 			return nil, err
 		}
@@ -86,6 +98,9 @@ func Open(dir string) (*Store, error) {
 			ferr = corruptf("manifest frame has kind %q", meta.Kind)
 		}
 		if ferr != nil {
+			// The previous life's epoch is unreadable; epoch 1 is safe
+			// because rescan normalizes every adopted entry to epoch 0.
+			s.epoch = 1
 			s.quarantine(path)
 			if err := s.rescan(); err != nil {
 				return nil, err
@@ -93,12 +108,17 @@ func Open(dir string) (*Store, error) {
 			break
 		}
 		s.manSeq = meta.Generation
+		s.epoch = doc.Epoch + 1
 		if doc.Graphs != nil {
 			s.manifest = doc.Graphs
 		}
 	}
 	return s, nil
 }
+
+// Epoch returns this Open's boot epoch. Generation guards apply only
+// between saves of the same epoch.
+func (s *Store) Epoch() uint64 { return s.epoch }
 
 // Dir returns the data directory.
 func (s *Store) Dir() string { return s.dir }
@@ -132,20 +152,33 @@ func (s *Store) rescan() error {
 
 // Save durably writes one snapshot frame and repoints the manifest at it.
 // The generation guard makes concurrent saves of the same graph safe:
-// a Save carrying an older generation than the manifest's live entry is
-// dropped rather than allowed to roll the graph back.
+// a Save carrying an older generation than the manifest's live entry of
+// the same boot epoch is dropped rather than allowed to roll the graph
+// back. Entries persisted by a previous process life carry an older
+// epoch and never block a save: catalog generations restart at zero on
+// every boot, so cross-epoch generations are not comparable.
 func (s *Store) Save(meta Meta, payload []byte) (written bool, err error) {
+	return s.SaveIf(meta, payload, nil)
+}
+
+// SaveIf is Save with a commit veto: when ok is non-nil it is consulted
+// under the store mutex immediately before the manifest is repointed, and
+// a false return discards the write without touching the manifest. The
+// Persister uses it to keep a slow snapshot from resurrecting a graph
+// that was dropped while the snapshot serialized.
+func (s *Store) SaveIf(meta Meta, payload []byte, ok func() bool) (written bool, err error) {
 	defer func() {
 		if err != nil {
 			s.snapshotErrors.Add(1)
 		}
 	}()
 	final := snapFileName(meta.Name, meta.Generation)
-	// Idempotence: a generation already durable (or superseded) needs no
-	// write — snapshot bytes at a given generation are deterministic, so
-	// the live file is already exactly this payload or newer.
+	// Idempotence: a generation already durable (or superseded) in this
+	// epoch needs no write — snapshot bytes at a given generation are
+	// deterministic, so the live file is already exactly this payload or
+	// newer.
 	s.mu.Lock()
-	if old, had := s.manifest[meta.Name]; had && old.Generation >= meta.Generation {
+	if old, had := s.manifest[meta.Name]; had && old.Epoch == s.epoch && old.Generation >= meta.Generation {
 		s.mu.Unlock()
 		return false, nil
 	}
@@ -157,12 +190,25 @@ func (s *Store) Save(meta Meta, payload []byte) (written bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old, had := s.manifest[meta.Name]
-	if had && old.Generation > meta.Generation {
-		// A newer snapshot landed while this one was serializing: keep it.
-		_ = os.Remove(filepath.Join(s.dir, final))
+	// removeFinal discards the just-written file unless the manifest's
+	// live entry already names it (a re-save of the same generation
+	// renamed identical bytes over the live file).
+	removeFinal := func() {
+		if !had || old.File != final {
+			_ = os.Remove(filepath.Join(s.dir, final))
+		}
+	}
+	if ok != nil && !ok() {
+		removeFinal()
 		return false, nil
 	}
-	s.manifest[meta.Name] = manifestEntry{File: final, Generation: meta.Generation}
+	if had && old.Epoch == s.epoch && old.Generation >= meta.Generation {
+		// A snapshot at this generation or newer landed while this one was
+		// serializing: keep it.
+		removeFinal()
+		return false, nil
+	}
+	s.manifest[meta.Name] = manifestEntry{File: final, Generation: meta.Generation, Epoch: s.epoch}
 	if err := s.writeManifestLocked(); err != nil {
 		// The manifest still names the old snapshot; the new file is
 		// orphaned but harmless (a future rescan would adopt it).
@@ -207,17 +253,24 @@ type RecoveryEvent struct {
 	File string
 	Meta Meta
 	// Err is nil for a recovered graph; otherwise the validation or
-	// decode failure that quarantined the file.
+	// decode failure.
 	Err error
+	// Quarantined reports that the failure was corruption and the file
+	// was renamed to *.corrupt and dropped from the manifest. A failure
+	// with Quarantined false (a resource or catalog error on valid bytes)
+	// leaves the snapshot and its manifest entry intact for a later boot.
+	Quarantined bool
 }
 
 // LoadAll replays every manifest-listed snapshot through decode. A frame
-// that fails validation — or whose decode callback rejects it — is
-// quarantined to <file>.corrupt and dropped from the manifest; recovery
-// of the remaining graphs continues. The returned events report, per
-// graph, whether it was recovered or quarantined; the error is only
-// non-nil for store-level failures (an unwritable manifest), never for
-// per-file corruption.
+// that fails integrity validation — or whose decode callback reports
+// corruption (an error wrapping ErrCorrupt) — is quarantined to
+// <file>.corrupt and dropped from the manifest; any other failure keeps
+// the durable copy untouched, since valid bytes must never be destroyed
+// over a transient error. Recovery of the remaining graphs continues
+// either way. The returned events report each graph's fate; the error is
+// only non-nil for store-level failures (an unwritable manifest), never
+// for per-file corruption.
 func (s *Store) LoadAll(decode func(meta Meta, payload []byte) error) ([]RecoveryEvent, error) {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.manifest))
@@ -244,14 +297,16 @@ func (s *Store) LoadAll(decode func(meta Meta, payload []byte) error) ([]Recover
 			err = decode(meta, payload)
 		}
 		ev := RecoveryEvent{Name: name, File: ent.File, Meta: meta, Err: err}
-		if err != nil {
+		switch {
+		case err == nil:
+			s.loads.Add(1)
+		case errors.Is(err, ErrCorrupt):
+			ev.Quarantined = true
 			s.quarantine(path)
 			s.mu.Lock()
 			delete(s.manifest, name)
 			s.mu.Unlock()
 			dirty = true
-		} else {
-			s.loads.Add(1)
 		}
 		events = append(events, ev)
 	}
@@ -268,21 +323,22 @@ func (s *Store) LoadAll(decode func(meta Meta, payload []byte) error) ([]Recover
 
 // Remove drops name's snapshot: manifest first (so a crash between the
 // two steps leaves an orphaned file, not a dangling manifest entry), then
-// the file.
-func (s *Store) Remove(name string) error {
+// the file. It reports whether a manifest entry existed, so callers can
+// distinguish "cleaned up" from "nothing to clean".
+func (s *Store) Remove(name string) (removed bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ent, ok := s.manifest[name]
 	if !ok {
-		return nil
+		return false, nil
 	}
 	delete(s.manifest, name)
 	if err := s.writeManifestLocked(); err != nil {
 		s.manifest[name] = ent
-		return err
+		return false, err
 	}
 	_ = os.Remove(filepath.Join(s.dir, ent.File))
-	return nil
+	return true, nil
 }
 
 // Names returns the manifest's graph names, sorted.
@@ -333,7 +389,7 @@ func (s *Store) quarantine(path string) {
 // Callers hold s.mu.
 func (s *Store) writeManifestLocked() error {
 	s.manSeq++
-	payload, err := json.Marshal(manifestDoc{Graphs: s.manifest})
+	payload, err := json.Marshal(manifestDoc{Epoch: s.epoch, Graphs: s.manifest})
 	if err != nil {
 		return fmt.Errorf("store: manifest: %w", err)
 	}

@@ -327,9 +327,9 @@ func TestPersisterLifecycle(t *testing.T) {
 		t.Fatalf("freshly recovered graphs dirty: %v", d)
 	}
 
-	// Remove mirrors a catalog drop.
-	if err := p2.Remove("b"); err != nil {
-		t.Fatal(err)
+	// Remove mirrors a catalog drop and reports the durable copy existed.
+	if removed, err := p2.Remove("b"); err != nil || !removed {
+		t.Fatalf("remove: removed=%v err=%v", removed, err)
 	}
 	if _, _, err := st.Load("b"); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("removed graph still stored: %v", err)
@@ -404,6 +404,219 @@ func TestLoadAllQuarantinesBadSnapshot(t *testing.T) {
 	}
 	if len(events) != 1 || events[0].Name != "good" {
 		t.Fatalf("post-quarantine boot events: %+v", events)
+	}
+}
+
+// TestRecoverySeedsGenerationsAcrossRestart is the regression test for
+// the silent post-restart data-loss bug: in-memory generations restart at
+// zero each process life, so a Save guard comparing them against manifest
+// generations persisted by the previous life used to drop every
+// post-recovery snapshot whose (fresh, small) generation trailed the old
+// (large) one — and a crash then rolled the graph back. Recovery now
+// seeds catalog generations from the snapshot metadata, and the store's
+// guard is scoped to one boot epoch.
+func TestRecoverySeedsGenerationsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// Life 1: add, mutate three times (generation 3), flush.
+	cat1 := catalog.New()
+	p1 := NewPersister(Must(Open(dir)), cat1)
+	if _, err := cat1.Add("g", testGraph(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := cat1.Get("g")
+	for i := 0; i < 3; i++ {
+		if err := e1.Update(func(g *lagraph.Graph) error {
+			return g.A.SetElement(0, i+1, float64(i+1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p1.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if gen, ok := p1.Store().Generation("g"); !ok || gen != 3 {
+		t.Fatalf("manifest generation = %d,%v, want 3", gen, ok)
+	}
+
+	// Life 2: recover, replace the graph's contents, snapshot.
+	cat2 := catalog.New()
+	p2 := NewPersister(Must(Open(dir)), cat2)
+	if _, err := p2.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cat2.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := e2.Generation(); gen != 3 {
+		t.Fatalf("recovered generation = %d, want 3 (seeded from snapshot)", gen)
+	}
+	replacement := testGraph(t, 5)
+	wantEdges := replacement.NEdges()
+	if _, err := cat2.Replace("g", replacement); err != nil {
+		t.Fatal(err)
+	}
+	if d := p2.Dirty(); len(d) != 1 || d[0] != "g" {
+		t.Fatalf("dirty after replace = %v, want [g]", d)
+	}
+	sr, err := p2.SnapshotOne("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Written {
+		t.Fatalf("post-recovery snapshot silently dropped: %+v", sr)
+	}
+
+	// Life 3: the replacement — not the pre-restart contents — recovers.
+	cat3 := catalog.New()
+	p3 := NewPersister(Must(Open(dir)), cat3)
+	if _, err := p3.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	e3, err := cat3.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e3.Properties().NEdges; got != wantEdges {
+		t.Fatalf("recovered %d edges, want the replacement's %d — graph rolled back across restart", got, wantEdges)
+	}
+}
+
+// TestSaveEpochsCrossRestart pins the store-level contract behind the fix
+// above: the generation guard applies only between saves of the same boot
+// epoch, so a fresh process whose generations restarted low can still
+// overwrite a high-generation entry persisted by a previous life.
+func TestSaveEpochsCrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 1 {
+		t.Fatalf("first epoch = %d, want 1", st.Epoch())
+	}
+	if _, err := st.Save(Meta{Name: "g", Kind: "undirected", Generation: 57}, graphBytes(t, testGraph(t, 4))); err != nil {
+		t.Fatal(err)
+	}
+	// Same life: the guard still blocks stale generations.
+	if written, err := st.Save(Meta{Name: "g", Kind: "undirected", Generation: 3}, graphBytes(t, testGraph(t, 3))); err != nil || written {
+		t.Fatalf("same-epoch stale save: written=%v err=%v", written, err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Epoch() != 2 {
+		t.Fatalf("second epoch = %d, want 2", st2.Epoch())
+	}
+	fresh := graphBytes(t, testGraph(t, 5))
+	written, err := st2.Save(Meta{Name: "g", Kind: "undirected", Generation: 1}, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !written {
+		t.Fatal("cross-epoch save blocked by the previous life's generation")
+	}
+	meta, payload, err := st2.Load("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Generation != 1 || !bytes.Equal(payload, fresh) {
+		t.Fatalf("live snapshot is generation %d, want the new life's 1", meta.Generation)
+	}
+}
+
+// TestDropDuringSnapshotDoesNotResurrect: a Remove landing between a
+// snapshot's serialization and its store commit must veto the commit —
+// otherwise the dropped graph's snapshot re-enters the manifest and the
+// graph resurrects on the next boot.
+func TestDropDuringSnapshotDoesNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	st := Must(Open(dir))
+	cat := catalog.New()
+	p := NewPersister(st, cat)
+	if _, err := cat.Add("g", testGraph(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the graph so the snapshot below has something to write.
+	e, _ := cat.Get("g")
+	if err := e.Update(func(g *lagraph.Graph) error {
+		return g.A.SetElement(0, 1, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The drop lands after serialization, before the store commit.
+	p.afterSerialize = func(name string) {
+		p.afterSerialize = nil
+		if err := cat.Drop(name); err != nil {
+			t.Errorf("drop: %v", err)
+		}
+		if _, err := p.Remove(name); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+	}
+	sr, err := p.SnapshotOne("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Written {
+		t.Fatalf("vetoed snapshot reported written: %+v", sr)
+	}
+	if names := st.Names(); len(names) != 0 {
+		t.Fatalf("dropped graph re-entered the manifest: %v", names)
+	}
+	// No stale dirty-tracking state either: a re-add of the same name is
+	// dirty and flushable as if the name were brand new.
+	if _, err := cat.Add("g", testGraph(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Dirty(); len(d) != 1 || d[0] != "g" {
+		t.Fatalf("re-added graph not dirty: %v", d)
+	}
+	sr, err = p.SnapshotOne("g")
+	if err != nil || !sr.Written {
+		t.Fatalf("re-added graph snapshot: %+v, %v", sr, err)
+	}
+	events, err := NewPersister(Must(Open(dir)), catalog.New()).LoadAll()
+	if err != nil || len(events) != 1 || events[0].Err != nil {
+		t.Fatalf("recovery after drop race: %+v, %v", events, err)
+	}
+}
+
+// TestLoadAllKeepsFileOnNonCorruptError: only corruption quarantines. A
+// decode callback failing for any other reason (catalog conflict,
+// transient resource trouble) must leave the valid durable copy and its
+// manifest entry untouched, so a later boot can still recover it.
+func TestLoadAllKeepsFileOnNonCorruptError(t *testing.T) {
+	dir := t.TempDir()
+	st := Must(Open(dir))
+	payload := graphBytes(t, testGraph(t, 4))
+	if _, err := st.Save(Meta{Name: "g", Kind: "undirected", Generation: 1}, payload); err != nil {
+		t.Fatal(err)
+	}
+	transient := errors.New("no room in the catalog today")
+	events, err := st.LoadAll(func(Meta, []byte) error { return transient })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || !errors.Is(events[0].Err, transient) || events[0].Quarantined {
+		t.Fatalf("events: %+v", events)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapFileName("g", 1))); err != nil {
+		t.Fatal("valid snapshot destroyed over a non-corruption error")
+	}
+	if _, ok := st.Generation("g"); !ok {
+		t.Fatal("manifest entry dropped over a non-corruption error")
+	}
+	// The next attempt (here: a permissive callback) recovers normally.
+	events, err = st.LoadAll(func(Meta, []byte) error { return nil })
+	if err != nil || len(events) != 1 || events[0].Err != nil {
+		t.Fatalf("retry recovery: %+v, %v", events, err)
 	}
 }
 

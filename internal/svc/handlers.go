@@ -257,14 +257,23 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) int {
 }
 
 // handleDrop unregisters a graph and forgets its durable snapshot, so a
-// dropped graph does not resurrect on the next boot.
+// dropped graph does not resurrect on the next boot. The catalog drop
+// goes first — once the name is unregistered, no new snapshot of it can
+// start — but a DELETE whose durable removal then failed (5xx) stays
+// retryable: the retry tolerates the catalog miss and still clears the
+// store, answering 404 only when the name is unknown to both.
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) int {
 	name := r.PathValue("name")
-	if err := s.cat.Drop(name); err != nil {
+	dropErr := s.cat.Drop(name)
+	if dropErr != nil && !errors.Is(dropErr, catalog.ErrNotFound) {
+		return fail(w, dropErr)
+	}
+	removed, err := s.dropDurable(name)
+	if err != nil {
 		return fail(w, err)
 	}
-	if err := s.dropDurable(name); err != nil {
-		return fail(w, err)
+	if dropErr != nil && !removed {
+		return fail(w, dropErr)
 	}
 	w.WriteHeader(http.StatusNoContent)
 	return http.StatusNoContent

@@ -72,10 +72,12 @@ func (s *Server) writeStoreMetrics(w io.Writer) {
 }
 
 // dropDurable mirrors a catalog drop into the store so a dropped graph
-// does not resurrect on the next boot.
-func (s *Server) dropDurable(name string) error {
+// does not resurrect on the next boot. Reports whether a durable copy
+// existed, so handleDrop can distinguish a retried half-completed DELETE
+// from a genuinely unknown name.
+func (s *Server) dropDurable(name string) (removed bool, err error) {
 	if s.cfg.Persister == nil {
-		return nil
+		return false, nil
 	}
 	return s.cfg.Persister.Remove(name)
 }

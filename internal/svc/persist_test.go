@@ -192,10 +192,44 @@ func TestSnapshotEndpoint(t *testing.T) {
 	if names := s.Persister().Store().Names(); len(names) != 0 {
 		t.Fatalf("store still holds %v after drop", names)
 	}
-	_, ts2, events := newPersistentServer(t, dir)
+	s2, ts2, events := newPersistentServer(t, dir)
 	defer ts2.Close()
 	if len(events) != 0 {
 		t.Fatalf("dropped graph resurrected: %+v", events)
+	}
+
+	// A DELETE that half-completed — graph gone from the catalog, durable
+	// copy still on disk (the shape a failed dropDurable leaves) — must be
+	// retryable: the retry answers 204 and clears the store instead of
+	// 404ing and stranding a snapshot that would resurrect the graph.
+	loadGraph(t, ts2.URL, "h", 5)
+	if code := post(t, ts2.URL+"/graphs/h/snapshot", nil, nil); code != http.StatusOK {
+		t.Fatalf("snapshot h: status %d", code)
+	}
+	if err := s2.Catalog().Drop("h"); err != nil {
+		t.Fatal(err)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts2.URL+"/graphs/h", nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("retried drop: status %d, want 204", dresp.StatusCode)
+	}
+	if names := s2.Persister().Store().Names(); len(names) != 0 {
+		t.Fatalf("retried drop left durable copies: %v", names)
+	}
+	// A name unknown to catalog and store alike still 404s.
+	req, _ = http.NewRequest(http.MethodDelete, ts2.URL+"/graphs/h", nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("drop of unknown name: status %d, want 404", dresp.StatusCode)
 	}
 
 	// Volatile daemon: durability endpoints answer 501.
