@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"lagraph/internal/baseline"
@@ -23,10 +25,12 @@ import (
 )
 
 var (
-	scale   = flag.Int("scale", 13, "RMAT scale (2^scale vertices)")
-	ef      = flag.Int("ef", 16, "RMAT edge factor")
-	table   = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,perf,all")
-	jsonOut = flag.String("json", "", "write the perf table as machine-readable JSON to this file (e.g. BENCH_1.json)")
+	scale    = flag.Int("scale", 13, "RMAT scale (2^scale vertices)")
+	ef       = flag.Int("ef", 16, "RMAT edge factor")
+	table    = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,perf,all")
+	jsonOut  = flag.String("json", "", "write the perf table as machine-readable JSON to this file (e.g. BENCH_1.json)")
+	baseFile = flag.String("baseline", "", "previous BENCH_<pr>.json; annotate matching entries with speedup vs that baseline")
+	smoke    = flag.String("smoke", "", "smoke-baseline JSON; fail if any p=1 kernel regresses >25% after median-ratio host normalization")
 )
 
 func main() {
@@ -52,8 +56,9 @@ func main() {
 	run("c8", c8)
 	run("census", census)
 	// perf is opt-in (it re-times every skewed kernel at two parallelism
-	// levels): run it when asked for by name or when a JSON sink is given.
-	if *table == "perf" || *jsonOut != "" {
+	// levels): run it when asked for by name, when a JSON sink is given,
+	// or when a smoke comparison is requested.
+	if *table == "perf" || *jsonOut != "" || *smoke != "" {
 		perf()
 		fmt.Println()
 	}
@@ -67,6 +72,10 @@ type perfEntry struct {
 	Parallelism int     `json:"parallelism"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	SpeedupVsP1 float64 `json:"speedup_vs_p1,omitempty"`
+	// Baseline deltas (filled by -baseline): the matching entry of the
+	// previous BENCH_<pr>.json and the improvement factor over it.
+	BaselineNsPerOp int64   `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVsBase   float64 `json:"speedup_vs_baseline,omitempty"`
 	// Obs is the observability counter diff for one run of the kernel at
 	// this parallelism level: which mxm kernel fired, how many chunks the
 	// scheduler made, the work estimate. Added in lagraph-perf/2.
@@ -82,6 +91,22 @@ type perfReport struct {
 	Scale      int         `json:"scale"`
 	EdgeFactor int         `json:"edge_factor"`
 	Results    []perfEntry `json:"results"`
+	// Audits records the auto-vs-best-static comparisons: an adaptive
+	// entry point must never be more than a small factor slower than the
+	// best static choice it is selecting among (see EXPERIMENTS.md).
+	Audits []auditEntry `json:"audits,omitempty"`
+}
+
+// auditEntry compares one auto-selecting kernel against the fastest of
+// its static alternatives at p=1. Ratio is auto/best: 1.0 means the
+// selection was perfect, values above 1.10 violate the adaptive-kernel
+// contract.
+type auditEntry struct {
+	Name              string  `json:"name"`
+	AutoNsPerOp       int64   `json:"auto_ns_per_op"`
+	BestStatic        string  `json:"best_static"`
+	BestStaticNsPerOp int64   `json:"best_static_ns_per_op"`
+	Ratio             float64 `json:"ratio"`
 }
 
 // perf times the skewed-degree kernel suite (the same workloads as the
@@ -105,6 +130,38 @@ func perf() {
 	kb := gen.PowerLaw(64, 1024, 1.6, gen.Config{Seed: 43}).Matrix()
 	ka.Wait()
 	kb.Wait()
+
+	// Adaptive-format workloads. These are fixed-size (independent of
+	// -scale): a ~60%-full dense block where the bitmap view pays, a
+	// 2^20-dimension hypersparse multiply where the occupied-row list
+	// pays, and the triangle-count formulation family on a skewed graph
+	// where the degree presort pays.
+	nd := 1 << 10
+	dense := denseBlock(nd)
+	denseCSR := dense.Dup()
+	denseCSR.SetFormat(grb.FormatCSR)
+	denseBM := dense.Dup()
+	denseBM.SetFormat(grb.FormatBitmap)
+	denseAuto := dense.Dup()
+	denseAuto.SetFormat(grb.FormatAuto)
+	du := make([]float64, nd)
+	for i := range du {
+		du[i] = 1
+	}
+	dvec := grb.DenseVector(du)
+	km := gen.PowerLaw(nd, 16*nd, 1.6, gen.Config{Seed: 44, NoSelfLoops: true}).Matrix()
+	km.Wait()
+
+	nh := 1 << 20
+	hyperSeed := gen.PowerLaw(nh, 4096, 1.6, gen.Config{Seed: 45, NoSelfLoops: true}).Matrix()
+	hyperCSR := hyperSeed.Dup()
+	hyperCSR.SetFormat(grb.FormatCSR)
+	hyperHyp := hyperSeed.Dup()
+	hyperHyp.SetFormat(grb.FormatHyper)
+	hyperCSR.Wait()
+	hyperHyp.Wait()
+
+	tg := tcBenchGraph()
 
 	kernels := []struct {
 		name string
@@ -147,6 +204,69 @@ func perf() {
 			c := grb.MustMatrix[float64](256*64, 256*64)
 			_ = grb.Kronecker[float64, float64, float64, bool](c, nil, nil, grb.Times[float64](), ka, kb, nil)
 		}},
+		// Dense-operand vxm: the format pair. Same operands, same dense
+		// frontier; only the matrix format (and hence the kernel) differs.
+		{"vxm_dense_push", func() {
+			w := grb.MustVector[float64](nd)
+			_ = grb.VxM(w, (*grb.Vector[bool])(nil), nil, grb.PlusTimes[float64](), dvec, denseCSR,
+				&grb.Descriptor{Dir: grb.DirPush})
+		}},
+		{"vxm_dense_pull", func() {
+			w := grb.MustVector[float64](nd)
+			_ = grb.VxM(w, (*grb.Vector[bool])(nil), nil, grb.PlusTimes[float64](), dvec, denseCSR,
+				&grb.Descriptor{Dir: grb.DirPull})
+		}},
+		{"vxm_dense_bitmap", func() {
+			w := grb.MustVector[float64](nd)
+			_ = grb.VxM(w, (*grb.Vector[bool])(nil), nil, grb.PlusTimes[float64](), dvec, denseBM, nil)
+		}},
+		{"vxm_dense_auto", func() {
+			w := grb.MustVector[float64](nd)
+			_ = grb.VxM(w, (*grb.Vector[bool])(nil), nil, grb.PlusTimes[float64](), dvec, denseAuto, nil)
+		}},
+		// Masked dot mxm (A·Bᵀ, the triangle-count orientation): each
+		// admitted output merges two compressed rows, or probes B's
+		// bitmap row contiguously.
+		{"mxm_dot_dense", func() {
+			c := grb.MustMatrix[float64](nd, nd)
+			_ = grb.MxM(c, km, nil, grb.PlusTimes[float64](), denseCSR, denseCSR,
+				&grb.Descriptor{Method: grb.MxMDot, TranB: true})
+		}},
+		{"mxm_dot_bitmap", func() {
+			c := grb.MustMatrix[float64](nd, nd)
+			_ = grb.MxM(c, km, nil, grb.PlusTimes[float64](), denseCSR, denseBM,
+				&grb.Descriptor{Method: grb.MxMDot, TranB: true})
+		}},
+		// Hypersparse multiply: the occupied-row list vs a 2^20-entry row
+		// pointer scan. Heap method on both sides (it never allocates an
+		// output-dimension accumulator, so the format is the only change).
+		{"mxm_hyper_csr", func() {
+			c := grb.MustMatrix[float64](nh, nh)
+			_ = grb.MxM(c, (*grb.Matrix[bool])(nil), nil, grb.PlusTimes[float64](), hyperCSR, hyperCSR,
+				&grb.Descriptor{Method: grb.MxMHeap})
+		}},
+		{"mxm_hyper", func() {
+			c := grb.MustMatrix[float64](nh, nh)
+			_ = grb.MxM(c, (*grb.Matrix[bool])(nil), nil, grb.PlusTimes[float64](), hyperHyp, hyperHyp,
+				&grb.Descriptor{Method: grb.MxMHeap})
+		}},
+		// Triangle-count formulation family on a skewed power-law graph.
+		// The sorted entry includes the cost of the degree presort itself.
+		{"tc_burkhardt", func() {
+			_, _ = lagraph.TriangleCount(tg, lagraph.TCBurkhardt)
+		}},
+		{"tc_sandia_lut", func() {
+			_, _ = lagraph.TriangleCount(tg, lagraph.TCSandiaLUT)
+		}},
+		{"tc_sandia_ll", func() {
+			_, _ = lagraph.TriangleCount(tg, lagraph.TCSandiaLL)
+		}},
+		{"tc_sandia_ll_sorted", func() {
+			_, _ = lagraph.TriangleCount(tg, lagraph.TCSandiaLL, lagraph.WithPresort(lagraph.TCSortAscending))
+		}},
+		{"tc_auto", func() {
+			_, _ = lagraph.TriangleCount(tg, lagraph.TCAuto, lagraph.WithPresort(lagraph.TCSortAuto))
+		}},
 	}
 
 	pmax := runtime.GOMAXPROCS(0)
@@ -162,7 +282,7 @@ func perf() {
 		Scale:      *scale,
 		EdgeFactor: *ef,
 	}
-	fmt.Printf("%-18s %14s %14s %9s   (power-law n=2^%d, α=1.6, %d CPU)\n",
+	fmt.Printf("%-22s %14s %14s %9s   (power-law n=2^%d, α=1.6, %d CPU)\n",
 		"kernel", "p=1", fmt.Sprintf("p=%d", pmax), "speedup", *scale, runtime.NumCPU())
 	for _, k := range kernels {
 		old := grb.SetParallelism(1)
@@ -176,7 +296,69 @@ func perf() {
 		report.Results = append(report.Results,
 			perfEntry{Name: k.name, Parallelism: 1, NsPerOp: d1.Nanoseconds(), Obs: o1},
 			perfEntry{Name: k.name, Parallelism: pmax, NsPerOp: dp.Nanoseconds(), SpeedupVsP1: speedup, Obs: op})
-		fmt.Printf("%-18s %14v %14v %8.2fx\n", k.name, d1, dp, speedup)
+		fmt.Printf("%-22s %14v %14v %8.2fx\n", k.name, d1, dp, speedup)
+	}
+
+	// Auto-selection audits: the adaptive entry points against the best
+	// static alternative. Measured head-to-head with interleaved reps at
+	// p=1 (not read back from the table rows, which are minutes apart and
+	// would fold host drift into the ratio).
+	byName := make(map[string]func(), len(kernels))
+	for _, k := range kernels {
+		byName[k.name] = k.f
+	}
+	audits := []struct {
+		name    string
+		auto    string
+		statics []string
+	}{
+		{"vxm_dense", "vxm_dense_auto", []string{"vxm_dense_push", "vxm_dense_pull", "vxm_dense_bitmap"}},
+		{"tc", "tc_auto", []string{"tc_burkhardt", "tc_sandia_lut", "tc_sandia_ll", "tc_sandia_ll_sorted"}},
+	}
+	fmt.Println()
+	oldP := grb.SetParallelism(1)
+	for _, au := range audits {
+		const reps = 5
+		autoNs := int64(1<<62 - 1)
+		bestNs := make([]int64, len(au.statics))
+		for i := range bestNs {
+			bestNs[i] = 1<<62 - 1
+		}
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			byName[au.auto]()
+			if d := time.Since(t0).Nanoseconds(); d < autoNs {
+				autoNs = d
+			}
+			for i, s := range au.statics {
+				t0 = time.Now()
+				byName[s]()
+				if d := time.Since(t0).Nanoseconds(); d < bestNs[i] {
+					bestNs[i] = d
+				}
+			}
+		}
+		bestName, best := au.statics[0], bestNs[0]
+		for i, ns := range bestNs {
+			if ns < best {
+				bestName, best = au.statics[i], ns
+			}
+		}
+		ratio := float64(autoNs) / float64(best)
+		report.Audits = append(report.Audits, auditEntry{
+			Name: au.name, AutoNsPerOp: autoNs,
+			BestStatic: bestName, BestStaticNsPerOp: best, Ratio: ratio,
+		})
+		fmt.Printf("audit %-12s auto %12s vs best static %-22s %12s  ratio %.3f\n",
+			au.name, time.Duration(autoNs), bestName, time.Duration(best), ratio)
+	}
+	grb.SetParallelism(oldP)
+
+	if *baseFile != "" {
+		if err := annotateBaseline(&report, *baseFile); err != nil {
+			fmt.Fprintln(os.Stderr, "perf baseline:", err)
+			os.Exit(1)
+		}
 	}
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -191,6 +373,164 @@ func perf() {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
+	if *smoke != "" {
+		if err := smokeCheck(&report, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bench-smoke: ok")
+	}
+}
+
+// denseBlock builds an n×n float64 matrix with exactly 60% of each row
+// occupied (a fixed residue pattern, so runs are reproducible without a
+// RNG): the regime where the bitmap view beats compressed storage.
+func denseBlock(n int) *grb.Matrix[float64] {
+	p := make([]int, n+1)
+	is := make([]int, 0, n*n*6/10)
+	xs := make([]float64, 0, n*n*6/10)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (i*31+j*17)%10 < 6 {
+				is = append(is, j)
+				xs = append(xs, float64((i+j)%7+1))
+			}
+		}
+		p[i+1] = len(is)
+	}
+	a, err := grb.ImportCSR(n, n, p, is, xs, true)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// tcBenchGraph is a power-law graph with four planted mid-ordering hubs:
+// each hub is connected to every vertex, so its strict-lower row is long
+// AND replayed by every higher-indexed neighbor — the shape where the
+// natural ordering's saxpy estimate blows up and the degree presort pays
+// for its rebuild many times over.
+func tcBenchGraph() *lagraph.Graph {
+	el := gen.PowerLaw(4096, 16*4096, 1.6, gen.Config{Seed: 46, Undirected: true, NoSelfLoops: true})
+	n := el.N
+	for h := 1; h <= 4; h++ {
+		hv := h * n / 5
+		for v := 0; v < n; v++ {
+			if v != hv {
+				el.Src = append(el.Src, hv, v)
+				el.Dst = append(el.Dst, v, hv)
+				el.W = append(el.W, 1, 1)
+			}
+		}
+	}
+	el.HasDups = true
+	return lagraph.FromEdgeList(el, lagraph.Undirected)
+}
+
+// loadReport reads a perfReport JSON written by a previous -json run.
+func loadReport(path string) (*perfReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r perfReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// findNs returns the ns/op of the named entry at the given parallelism,
+// or 0 if the report has no such entry.
+func findNs(r *perfReport, name string, par int) int64 {
+	for _, e := range r.Results {
+		if e.Name == name && e.Parallelism == par {
+			return e.NsPerOp
+		}
+	}
+	return 0
+}
+
+// annotateBaseline fills each entry's baseline fields from the matching
+// (name, parallelism) entry of a previous BENCH json and prints the
+// deltas, so BENCH_<pr>.json carries its own comparison.
+func annotateBaseline(r *perfReport, path string) error {
+	base, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nvs baseline %s (schema %s):\n", path, base.Schema)
+	for i := range r.Results {
+		e := &r.Results[i]
+		bns := findNs(base, e.Name, e.Parallelism)
+		if bns <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		e.BaselineNsPerOp = bns
+		e.SpeedupVsBase = float64(bns) / float64(e.NsPerOp)
+		fmt.Printf("%-22s p=%-2d %12s -> %12s  %6.2fx\n",
+			e.Name, e.Parallelism, time.Duration(bns), time.Duration(e.NsPerOp), e.SpeedupVsBase)
+	}
+	return nil
+}
+
+// smokeCheck compares the fresh report against a committed baseline and
+// fails on any per-kernel regression beyond 25%. Only p=1 entries are
+// compared (the p=max rows depend on the host's core count). Host speed
+// differences shift every kernel's ratio by roughly the same factor, so
+// each ratio is normalized by the median ratio before the threshold is
+// applied — a uniformly 2× slower CI runner passes, a single kernel that
+// regressed relative to its peers fails.
+func smokeCheck(r *perfReport, path string) error {
+	base, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	if base.Scale != r.Scale || base.EdgeFactor != r.EdgeFactor {
+		return fmt.Errorf("baseline is scale %d/ef %d, this run is scale %d/ef %d; regenerate the baseline or pass matching flags",
+			base.Scale, base.EdgeFactor, r.Scale, r.EdgeFactor)
+	}
+	type pair struct {
+		name  string
+		ratio float64
+	}
+	var pairs []pair
+	for _, e := range r.Results {
+		if e.Parallelism != 1 {
+			continue
+		}
+		if bns := findNs(base, e.Name, 1); bns > 0 && e.NsPerOp > 0 {
+			pairs = append(pairs, pair{e.Name, float64(e.NsPerOp) / float64(bns)})
+		}
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no comparable p=1 entries between this run and %s", path)
+	}
+	ratios := make([]float64, len(pairs))
+	for i, p := range pairs {
+		ratios[i] = p.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	const tolerance = 1.25
+	var failed []string
+	fmt.Printf("\nbench-smoke vs %s (median host ratio %.2f, tolerance %.0f%%):\n", path, median, (tolerance-1)*100)
+	for _, p := range pairs {
+		norm := p.ratio / median
+		status := "ok"
+		if norm > tolerance {
+			status = "REGRESSED"
+			failed = append(failed, fmt.Sprintf("%s (%.2fx normalized)", p.name, norm))
+		}
+		fmt.Printf("%-22s ratio %5.2f  normalized %5.2f  %s\n", p.name, p.ratio, norm, status)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d kernel(s) regressed >%.0f%%: %s", len(failed), (tolerance-1)*100, strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 // observeOnce runs f once under an obs.Counters sink (outside the timed

@@ -47,6 +47,36 @@ const (
 	Undirected = lagraph.Undirected
 )
 
+// Triangle-count method selection, re-exported: the formulation family
+// (TCMethod), degree presorting (TCPresort), and the functional options
+// that carry them. TCAuto + TCSortAuto picks the formulation and decides
+// whether a degree relabeling pays, per graph, at call time.
+type (
+	// TCMethod selects a triangle-count formulation.
+	TCMethod = lagraph.TCMethod
+	// TCPresort selects a degree relabeling applied before counting.
+	TCPresort = lagraph.TCPresort
+	// TCOption configures TriangleCount (WithMethod, WithPresort, …).
+	TCOption = lagraph.Option
+)
+
+const (
+	// TCAuto picks the formulation and presort from the graph's shape.
+	TCAuto = lagraph.TCAuto
+	// TCSandiaLL is the saxpy L·L formulation (masked by L).
+	TCSandiaLL = lagraph.TCSandiaLL
+	// TCSortAuto relabels by degree only when the estimated saxpy work
+	// on the natural ordering says the rebuild pays.
+	TCSortAuto = lagraph.TCSortAuto
+)
+
+var (
+	// WithMethod overrides the TriangleCount method argument.
+	WithMethod = lagraph.WithMethod
+	// WithPresort sets the degree presort for TriangleCount.
+	WithPresort = lagraph.WithPresort
+)
+
 // NewMatrix creates an empty nrows×ncols GraphBLAS matrix.
 func NewMatrix[T any](nrows, ncols int) (*Matrix[T], error) {
 	return grb.NewMatrix[T](nrows, ncols)

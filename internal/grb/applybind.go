@@ -118,8 +118,7 @@ func (a *Matrix[T]) Resize(nrows, ncols int) error {
 	if nrows < 0 || ncols < 0 {
 		return opErrorf("resize", ErrInvalidValue, "want %d×%d", nrows, ncols)
 	}
-	a.Wait()
-	old := a.csr
+	old := a.materializedCSR()
 	is, js, xs := a.ExtractTuples()
 	w := 0
 	for k := range is {

@@ -8,8 +8,7 @@ package grb
 // coordinate slices. It costs Ω(e) — the paper contrasts this with the
 // O(1) export below.
 func (a *Matrix[T]) ExtractTuples() (is, js []int, xs []T) {
-	a.Wait()
-	c := a.csr
+	c := a.materializedCSR()
 	n := c.nvals()
 	is = make([]int, 0, n)
 	js = make([]int, 0, n)
@@ -89,8 +88,7 @@ func ImportCSC[T any](nrows, ncols int, p, i []int, x []T, trusted bool) (*Matri
 // after an export, re-importing the same arrays reconstructs it perfectly
 // (§IV). Hypersparse matrices are expanded to standard form first (O(n)).
 func (a *Matrix[T]) ExportCSR() (nrows, ncols int, p, i []int, x []T) {
-	a.Wait()
-	c := a.csr
+	c := a.materializedCSR()
 	if c.h != nil {
 		c = hyperToStandard(c)
 	}
@@ -102,8 +100,7 @@ func (a *Matrix[T]) ExportCSR() (nrows, ncols int, p, i []int, x []T) {
 // ExportHyperCSR removes the hypersparse CSR arrays in O(1). Standard
 // matrices are compacted first (O(n)).
 func (a *Matrix[T]) ExportHyperCSR() (nrows, ncols int, p, h, i []int, x []T) {
-	a.Wait()
-	c := a.csr
+	c := a.materializedCSR()
 	if c.h == nil {
 		c = standardToHyper(c)
 	}

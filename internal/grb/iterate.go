@@ -9,8 +9,7 @@ import "sort"
 // early if fn returns false. It forces pending work first. The matrix
 // must not be mutated during iteration.
 func (a *Matrix[T]) Iterate(fn func(i, j int, x T) bool) {
-	a.Wait()
-	c := a.csr
+	c := a.materializedCSR()
 	for k := 0; k < c.nvecs(); k++ {
 		row := c.majorOf(k)
 		ci, cx := c.vec(k)
@@ -27,8 +26,7 @@ func (a *Matrix[T]) IterateRow(i int, fn func(j int, x T) bool) error {
 	if i < 0 || i >= a.nr {
 		return opErrorf("iterateRow", ErrIndexOutOfBounds, "row %d, bound %d", i, a.nr)
 	}
-	a.Wait()
-	ci, cx := rowView(a.csr, i)
+	ci, cx := rowView(a.materializedCSR(), i)
 	for t := range ci {
 		if !fn(ci[t], cx[t]) {
 			return nil
@@ -152,8 +150,7 @@ func AssignMatrixRow[T, M any](c *Matrix[T], mask *Vector[M], accum BinaryOp[T, 
 	}
 
 	// Merge into the existing row.
-	c.Wait()
-	oi, ox := rowView(c.csr, i)
+	oi, ox := rowView(c.materializedCSR(), i)
 	allowed := mv.cursor()
 	var ni []int
 	var nx []T
@@ -211,8 +208,7 @@ type ent2[T any] struct {
 
 // replaceRow substitutes the entries of one row.
 func (a *Matrix[T]) replaceRow(i int, ni []int, nx []T) error {
-	a.Wait()
-	old := a.csr
+	old := a.materializedCSR()
 	// Remove existing row entries, then insert new ones via pending
 	// tuples (cheap; assembled lazily).
 	if k, ok := old.findMajor(i); ok {

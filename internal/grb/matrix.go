@@ -21,6 +21,14 @@ const (
 	// represented, O(nvals) memory, so matrices of enormous dimension can
 	// be created as long as nvals << nrows (paper §II-A).
 	FormatHyper
+	// FormatBitmap additionally maintains a dense bitmap view (a presence
+	// flag plus a value slot for every position, O(nrows·ncols) memory)
+	// next to the compressed storage, giving kernels O(1) random access —
+	// the layout that wins for dense frontiers and small dense blocks.
+	// Honored only while nrows·ncols is within bitmapMaxCells; the
+	// compressed structure remains canonical, so serialization, export,
+	// and the store's snapshot frames are unchanged by this format.
+	FormatBitmap
 )
 
 // hyperThresholdDim is the minimum dimension before FormatAuto considers
@@ -113,6 +121,8 @@ type Matrix[T any] struct {
 	csr    *cs[T] // primary storage, row-major; never nil after init
 	csc    *cs[T] // column-major cache; nil when stale
 	cscMu  sync.Mutex
+	bmp    *bm[T] // dense bitmap view cache; nil when stale or ineligible
+	bmpMu  sync.Mutex
 
 	pend   []tuple[T]
 	pendOp func(T, T) T // nil means "last value wins"
@@ -153,8 +163,8 @@ func (a *Matrix[T]) Ncols() int { return a.nc }
 // Nvals returns the number of stored entries, forcing pending work to
 // complete first.
 func (a *Matrix[T]) Nvals() int {
-	a.Wait()
-	return a.csr.nvals()
+	c := a.materializedCSR()
+	return c.nvals()
 }
 
 // SetFormat selects the storage layout, converting immediately when the
@@ -170,6 +180,7 @@ func (a *Matrix[T]) SetFormat(f Format) {
 func (a *Matrix[T]) Clear() {
 	a.csr = emptyCS[T](a.nr, a.nc, a.format == FormatHyper)
 	a.csc = nil
+	a.bmp = nil
 	a.pend = nil
 	a.pendOp = nil
 	a.nzomb = 0
@@ -206,6 +217,7 @@ func (a *Matrix[T]) SetElement(i, j int, x T) error {
 	}
 	a.pend = append(a.pend, tuple[T]{i, j, x})
 	a.csc = nil
+	a.bmp = nil
 	return nil
 }
 
@@ -219,6 +231,7 @@ func (a *Matrix[T]) accumElement(i, j int, x T, op func(T, T) T) {
 	a.pendOp = op
 	a.pend = append(a.pend, tuple[T]{i, j, x})
 	a.csc = nil
+	a.bmp = nil
 }
 
 // MergeElement buffers a(i,j) ← op(a(i,j), x) (or a(i,j)=x if absent)
@@ -255,6 +268,7 @@ func (a *Matrix[T]) RemoveElement(i, j int) error {
 		c.i[pos] = ^j // flip: zombie
 		a.nzomb++
 		a.csc = nil
+		a.bmp = nil
 	}
 	return nil
 }
@@ -266,8 +280,13 @@ func (a *Matrix[T]) GetElement(i, j int) (T, error) {
 	if i < 0 || i >= a.nr || j < 0 || j >= a.nc {
 		return zero, ErrIndexOutOfBounds
 	}
-	a.Wait()
-	c := a.csr
+	c := a.materializedCSR()
+	if v := a.cachedBitmap(); v != nil { // O(1) random access, the bitmap's specialty
+		if v.b[i*v.nc+j] {
+			return v.x[i*v.nc+j], nil
+		}
+		return zero, ErrNoValue
+	}
 	k, ok := c.findMajor(i)
 	if !ok {
 		return zero, ErrNoValue
@@ -464,11 +483,17 @@ func (a *Matrix[T]) assemble() {
 }
 
 // maybeConvertFormat moves between standard and hypersparse CSR according
-// to the configured format and, for FormatAuto, the fill heuristic.
+// to the configured format and, for FormatAuto, the fill heuristic. It
+// also drops the bitmap view — every caller has just replaced the
+// canonical storage — leaving bitmapView to rebuild it lazily on demand.
 func (a *Matrix[T]) maybeConvertFormat() {
+	a.bmp = nil
 	c := a.csr
 	switch a.format {
-	case FormatCSR:
+	case FormatCSR, FormatBitmap:
+		// The bitmap view rides on standard CSR: bitmap-eligible matrices
+		// are small (≤ bitmapMaxCells cells) and dense, the opposite of
+		// the hypersparse regime.
 		if c.h != nil {
 			a.csr = hyperToStandard(c)
 		}
@@ -535,8 +560,9 @@ func (a *Matrix[T]) Build(is, js []int, xs []T, dup BinaryOp[T, T, T]) error {
 		}
 	}
 	// Build requires an empty matrix; staleness is unobservable because the
-	// stored-entry read is paired with the pending-buffer check.
-	if a.csr.nvals() != 0 || len(a.pend) > 0 { //grblint:ignore pending-tuples read paired with pend check
+	// stored-entry read is paired with the pending-buffer check, and the
+	// raw csr read is safe because every format keeps csr canonical.
+	if a.csr.nvals() != 0 || len(a.pend) > 0 { //grblint:ignore pending-tuples,format-invariants read paired with pend check; csr is canonical in every format
 		return opErrorf("build", ErrInvalidValue, "matrix is not empty")
 	}
 	c, err := assembleCS(a.nr, a.nc, is, js, xs, dup)

@@ -21,6 +21,12 @@ func SetParallelism(n int) int {
 }
 
 func workers() int {
+	// An explicit SetParallelism is honored verbatim — even above
+	// GOMAXPROCS — because the determinism tests deliberately pin the
+	// worker count above 1 on single-CPU hosts to exercise the concurrent
+	// paths. Oversubscription overhead on small operations is instead
+	// avoided structurally by seqFallbackWork: sub-threshold work never
+	// chunks, so it never spawns workers at any parallelism setting.
 	if n := maxWorkers.Load(); n > 0 {
 		return int(n)
 	}
@@ -72,7 +78,9 @@ func parallelRanges(n, grain int, fn func(lo, hi int)) {
 // over the other chunks.
 //
 // At most maxChunks ranges are produced, and none is created at all (a
-// single [0,n) range is returned) while the total weight is below quantum.
+// single [0,n) range is returned) while the total weight is below quantum
+// or below seqFallbackWork — the sequential-fallback threshold under which
+// goroutine dispatch and chunk merging cost more than the work itself.
 // The boundaries depend only on (weights, quantum, maxChunks) — never on
 // the current worker count — so callers that fold chunk results in chunk
 // order get bitwise-identical output at any parallelism level.
@@ -94,6 +102,9 @@ func workChunks(n int, weight func(k int) int, quantum, maxChunks int) []int {
 	total := prefix[n]
 	if quantum < 1 {
 		quantum = 1
+	}
+	if total < seqFallbackWork {
+		return []int{0, n}
 	}
 	nchunks := total / quantum
 	if nchunks > maxChunks {
@@ -156,6 +167,14 @@ func runChunks(bounds []int, fn func(c, lo, hi int)) {
 	}
 	wg.Wait()
 }
+
+// seqFallbackWork is the estimated-flop total below which the partitioner
+// refuses to create chunks at all, regardless of quantum: spawning workers
+// for an operation this small costs more in goroutine dispatch and chunk
+// merging than the operation itself (the source of the BENCH_1 small-op
+// regressions). Serial execution of a sub-threshold op is also exactly the
+// chunk-order fold of its would-be chunks, so results are unchanged.
+const seqFallbackWork = 1 << 16
 
 // workOversubscribe is how many chunks parallelWork creates per worker.
 // Finer chunks let the dynamic scheduler absorb estimation error (the

@@ -1,0 +1,228 @@
+package grb
+
+import (
+	"math"
+	mathbits "math/bits" // plain "bits" collides with a test helper in this package
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lagraph/internal/obs"
+)
+
+// Observation-fed kernel selection (§II-E, GraphBLAST): the static
+// heuristics in chooseMxM / chooseDirection encode what *should* be fast,
+// while the obs layer records what *was* fast. A Tuner closes the loop: it
+// consumes the same OpRecords any sink sees — kernel choice, operand
+// sizes, estimated vs actual flops, duration — and, once it has seen
+// enough samples of each candidate kernel on comparably-sized inputs,
+// overrides the static choice with the measured winner.
+//
+// The tuner is deliberately an out-of-band advisor, not part of any
+// kernel: with no tuner installed the dispatch cost is a single atomic
+// load (the same zero-cost contract as obs.Active), and the advice can
+// only change *which* kernel runs, never *what* it computes — every
+// selectable kernel pair is bitwise-identical on the same inputs (the
+// format conformance tests pin this), so tuning is invisible to results.
+
+// tunerKey identifies one cell of the tuner's history: an entry point, a
+// kernel, the masked/unmasked regime (masked dot products have a wholly
+// different cost model), and a log2 size bucket over the operands'
+// combined stored-entry count. bucket -1 aggregates all sizes and backs
+// the rate-based fallback.
+type tunerKey struct {
+	op     string
+	kernel string
+	masked bool
+	bucket int
+}
+
+// tunerStat is one cell's exponentially-weighted history.
+type tunerStat struct {
+	n    int
+	ewma float64 // duration EWMA, nanoseconds (bucketed cells)
+	// rate and estErr are maintained on the bucket -1 aggregate only:
+	// rate is the EWMA of DurNanos per estimated flop, estErr the EWMA of
+	// ActFlops/EstFlops where the kernel reports both — the est-vs-actual
+	// calibration surfaced in Snapshot and BENCH_2's selection audit.
+	rate   float64
+	estErr float64
+}
+
+const (
+	// tunerMinSamples is how many observations of *every* candidate a
+	// bucket needs before the tuner overrides the static heuristic; until
+	// then the heuristic's picks double as exploration samples.
+	tunerMinSamples = 3
+	// tunerAlpha is the EWMA weight of the newest observation.
+	tunerAlpha = 0.25
+)
+
+// Tuner accumulates kernel timing history from op records and advises
+// dispatch. Install it with SetTuner to receive advice requests, and feed
+// it records by making it (part of) the process observer — typically
+// obs.Set(&obs.Multi{Obs: []obs.Observer{trace, tuner}}).
+type Tuner struct {
+	mu    sync.Mutex
+	stats map[tunerKey]*tunerStat
+}
+
+// NewTuner returns an empty tuner.
+func NewTuner() *Tuner {
+	return &Tuner{stats: make(map[tunerKey]*tunerStat)}
+}
+
+// activeTuner is the process-wide advisor consulted by auto dispatch; nil
+// (the default) keeps dispatch on the static heuristics at zero cost.
+var activeTuner atomic.Pointer[Tuner]
+
+// SetTuner installs t as the process-wide kernel advisor (nil uninstalls)
+// and returns the previous one. Installing the tuner does NOT feed it:
+// records arrive only while it is also registered as an observer.
+func SetTuner(t *Tuner) *Tuner {
+	return activeTuner.Swap(t)
+}
+
+// ActiveTuner returns the installed advisor, or nil. One atomic load.
+func ActiveTuner() *Tuner {
+	return activeTuner.Load()
+}
+
+// sizeBucket maps a combined operand entry count to its log2 bucket.
+func sizeBucket(size int64) int {
+	if size < 0 {
+		size = 0
+	}
+	return mathbits.Len64(uint64(size))
+}
+
+// Now implements obs.Observer via the obs package clock: the Tuner IS an
+// injected observer, so this is the clock seam itself, not a kernel
+// reading time.
+func (t *Tuner) Now() int64 { return obs.Clock() } //grblint:ignore kernel-purity observer clock implementation
+
+// Iter implements obs.Observer; iteration records carry no kernel choice.
+func (t *Tuner) Iter(obs.IterRecord) {}
+
+// Op implements obs.Observer: it folds one kernel-level record into the
+// history. Only method-choice ops (mxm, vxm, mxv) with a measured duration
+// are retained.
+func (t *Tuner) Op(r obs.OpRecord) {
+	switch r.Op {
+	case "mxm", "vxm", "mxv":
+	default:
+		return
+	}
+	if r.Kernel == "" || r.DurNanos <= 0 {
+		return
+	}
+	bucket := sizeBucket(int64(r.NnzA) + int64(r.NnzB))
+	t.mu.Lock()
+	s := t.cell(tunerKey{r.Op, r.Kernel, r.Masked, bucket})
+	s.n++
+	s.ewma = ewma(s.ewma, float64(r.DurNanos), s.n)
+	agg := t.cell(tunerKey{r.Op, r.Kernel, r.Masked, -1})
+	agg.n++
+	ef := r.EstFlops
+	if ef < 1 {
+		ef = 1
+	}
+	agg.rate = ewma(agg.rate, float64(r.DurNanos)/float64(ef), agg.n)
+	if r.ActFlops > 0 && r.EstFlops > 0 {
+		agg.estErr = ewma(agg.estErr, float64(r.ActFlops)/float64(r.EstFlops), agg.n)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tuner) cell(k tunerKey) *tunerStat {
+	s := t.stats[k]
+	if s == nil {
+		s = &tunerStat{}
+		t.stats[k] = s
+	}
+	return s
+}
+
+// ewma folds x into the running average e after n total samples (n counts
+// x itself); the first sample initializes the average.
+func ewma(e, x float64, n int) float64 {
+	if n <= 1 {
+		return x
+	}
+	return e + tunerAlpha*(x-e)
+}
+
+// Advise picks among candidate kernels for an op on operands whose
+// combined stored-entry count is size. It answers ok only when every
+// candidate has at least tunerMinSamples observations in the size bucket —
+// an incompletely-explored bucket yields (_, false) and the static
+// heuristic (whose picks generate the missing samples) decides. Candidates
+// the caller cannot run (dot without a positive mask, bitmap without an
+// eligible view) must simply be left out of the list.
+func (t *Tuner) Advise(op string, masked bool, size int64, candidates []string) (string, bool) {
+	if len(candidates) < 2 {
+		return "", false
+	}
+	bucket := sizeBucket(size)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	best := ""
+	bestCost := math.Inf(1)
+	for _, k := range candidates {
+		s := t.stats[tunerKey{op, k, masked, bucket}]
+		if s == nil || s.n < tunerMinSamples {
+			return "", false
+		}
+		if s.ewma < bestCost {
+			best, bestCost = k, s.ewma
+		}
+	}
+	return best, true
+}
+
+// KernelCalibration reports the est-vs-actual flop calibration and
+// modeled cost rate of one (op, kernel, masked) regime.
+type KernelCalibration struct {
+	Op      string `json:"op"`
+	Kernel  string `json:"kernel"`
+	Masked  bool   `json:"masked,omitempty"`
+	Samples int    `json:"samples"`
+	// NsPerEstFlop is the duration EWMA normalized by the kernel's own
+	// work estimate.
+	NsPerEstFlop float64 `json:"ns_per_est_flop"`
+	// EstErr is the EWMA of actual/estimated flops (1.0 = the estimator
+	// is calibrated; 0 when the kernel never reports actual work).
+	EstErr float64 `json:"est_err,omitempty"`
+}
+
+// Calibration snapshots the per-kernel aggregates, ordered by (op,
+// kernel, masked) so the output is stable run to run.
+func (t *Tuner) Calibration() []KernelCalibration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]tunerKey, 0, len(t.stats))
+	//grblint:ignore determinism keys are fully sorted before use below
+	for k := range t.stats {
+		if k.bucket == -1 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].op != keys[b].op {
+			return keys[a].op < keys[b].op
+		}
+		if keys[a].kernel != keys[b].kernel {
+			return keys[a].kernel < keys[b].kernel
+		}
+		return !keys[a].masked && keys[b].masked
+	})
+	out := make([]KernelCalibration, 0, len(keys))
+	for _, k := range keys {
+		s := t.stats[k]
+		out = append(out, KernelCalibration{
+			Op: k.op, Kernel: k.kernel, Masked: k.masked,
+			Samples: s.n, NsPerEstFlop: s.rate, EstErr: s.estErr,
+		})
+	}
+	return out
+}

@@ -13,10 +13,16 @@ import (
 // serialVersion guards the on-wire layout.
 const serialVersion = 1
 
-// matrixWire is the serialized form of a Matrix.
+// matrixWire is the serialized form of a Matrix. The payload is always the
+// canonical compressed-sparse arrays regardless of the matrix's runtime
+// format — a bitmap-formatted matrix serializes its CSR and rebuilds the
+// bitmap view lazily on the other side — so every format shares one wire
+// layout. Format records the owner's format preference; gob omits zero
+// fields, so images written before the field existed decode as FormatAuto.
 type matrixWire[T any] struct {
 	Version      int
 	NRows, NCols int
+	Format       int
 	Hyper        bool
 	P, H, I      []int
 	X            []T
@@ -35,13 +41,13 @@ func SerializeMatrix[T any](w io.Writer, a *Matrix[T]) error {
 	if a == nil {
 		return opError("serialize", ErrUninitialized)
 	}
-	a.Wait()
-	c := a.csr
+	c := a.materializedCSR()
 	img := matrixWire[T]{
 		Version: serialVersion,
 		NRows:   a.nr, NCols: a.nc,
-		Hyper: c.h != nil,
-		P:     c.p, H: c.h, I: c.i, X: c.x,
+		Format: int(a.format),
+		Hyper:  c.h != nil,
+		P:      c.p, H: c.h, I: c.i, X: c.x,
 	}
 	return gob.NewEncoder(w).Encode(img)
 }
@@ -69,12 +75,23 @@ func DeserializeMatrix[T any](r io.Reader) (*Matrix[T], error) {
 	if img.NRows < 0 || img.NCols < 0 || img.NRows+1 <= 0 {
 		return nil, opErrorf("deserialize", ErrCorrupt, "dims %d×%d", img.NRows, img.NCols)
 	}
+	if img.Format < int(FormatAuto) || img.Format > int(FormatBitmap) {
+		return nil, opErrorf("deserialize", ErrCorrupt, "unknown format %d", img.Format)
+	}
 	// Reject shape lies before the importer sees the arrays: the declared
 	// dimensions must agree with the array lengths exactly.
 	if len(img.I) != len(img.X) {
 		return nil, opErrorf("deserialize", ErrCorrupt, "%d indices but %d values", len(img.I), len(img.X))
 	}
 	if img.Hyper {
+		// The serializer stores CSR- and bitmap-formatted matrices in
+		// standard layout (those formats force it), so a hyper payload
+		// claiming one is hostile — and restoring the claimed format would
+		// expand a tiny hyper image to a NRows+1 pointer array, letting
+		// 30 bytes of input demand an arbitrarily large allocation.
+		if f := Format(img.Format); f == FormatCSR || f == FormatBitmap {
+			return nil, opErrorf("deserialize", ErrCorrupt, "hyper payload with standard format %d", img.Format)
+		}
 		if img.P == nil && img.H == nil {
 			img.P = []int{0} // empty hypersparse image
 		}
@@ -88,6 +105,7 @@ func DeserializeMatrix[T any](r io.Reader) (*Matrix[T], error) {
 		if err != nil {
 			return nil, opErrorf("deserialize", ErrCorrupt, "%v", err)
 		}
+		a.SetFormat(Format(img.Format))
 		return a, nil
 	}
 	// gob omits empty slices; restore the pointer array shape, but never
@@ -111,6 +129,7 @@ func DeserializeMatrix[T any](r io.Reader) (*Matrix[T], error) {
 	if err != nil {
 		return nil, opErrorf("deserialize", ErrCorrupt, "%v", err)
 	}
+	a.SetFormat(Format(img.Format))
 	return a, nil
 }
 

@@ -23,6 +23,7 @@ func allocBytes() int64 {
 type hostileWire struct {
 	Version      int
 	NRows, NCols int
+	Format       int
 	Hyper        bool
 	P, H, I      []int
 	X            []int64
@@ -75,6 +76,24 @@ func FuzzDeserializeMatrix(f *testing.F) {
 	f.Add(gobBytes(f, hostileWire{Version: 99, NRows: 1, NCols: 1, P: []int{0, 0}}))
 	// Negative dimensions.
 	f.Add(gobBytes(f, hostileWire{Version: 1, NRows: -1, NCols: 4, P: []int{0}}))
+	// Format-tagged seeds: one real serialization per storage format, so
+	// the fuzzer mutates from every format's wire shape.
+	for _, format := range []grb.Format{grb.FormatCSR, grb.FormatHyper, grb.FormatBitmap} {
+		b := a.Dup()
+		b.SetFormat(format)
+		var buf bytes.Buffer
+		if err := grb.SerializeMatrix(&buf, b); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Format outside the known enum.
+	f.Add(gobBytes(f, hostileWire{Version: 1, NRows: 2, NCols: 2, Format: 99, P: []int{0, 0, 0}}))
+	f.Add(gobBytes(f, hostileWire{Version: 1, NRows: 2, NCols: 2, Format: -1, P: []int{0, 0, 0}}))
+	// Hyper payload lying about a standard format: restoring the claimed
+	// format would expand to an NRows+1 pointer array.
+	f.Add(gobBytes(f, hostileWire{Version: 1, NRows: 1 << 50, NCols: 4, Format: int(grb.FormatCSR), Hyper: true, P: []int{0}, H: []int{}}))
+	f.Add(gobBytes(f, hostileWire{Version: 1, NRows: 1 << 50, NCols: 4, Format: int(grb.FormatBitmap), Hyper: true, P: []int{0}, H: []int{}}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		before := allocBytes()

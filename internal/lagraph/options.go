@@ -41,6 +41,19 @@ type Options struct {
 	PushPullRatio int
 	// Stats, when non-nil, receives per-iteration BFS statistics.
 	Stats *BFSStats
+	// Method selects the TriangleCount formulation when MethodSet is
+	// true, overriding the positional method argument. Use WithMethod —
+	// the MethodSet latch is what lets TCBurkhardt (the zero value) be
+	// selected explicitly.
+	Method TCMethod
+	// MethodSet records that Method was set via WithMethod.
+	MethodSet bool
+	// Presort selects TriangleCount's degree relabeling; the zero value
+	// TCNoSort preserves the input ordering.
+	Presort TCPresort
+	// PresortSet records that Presort was set via WithPresort, so TCAuto
+	// can default to TCSortAuto without overriding an explicit choice.
+	PresortSet bool
 	// Ctx, when non-nil, is checked between iterations of every
 	// algorithm loop: once it is done the algorithm abandons its local
 	// state and returns an error wrapping grb.ErrCanceled. Cancellation
@@ -154,6 +167,20 @@ func WithPushPullRatio(r int) Option {
 // error matching grb.ErrCanceled (and ctx's own cause) via errors.Is.
 func WithContext(ctx context.Context) Option {
 	return func(o *Options) { o.Ctx = ctx }
+}
+
+// WithMethod selects the TriangleCount formulation, overriding the
+// positional method argument; pass TCAuto to let the library choose
+// (and combine with WithPresort(TCSortAuto) for fully adaptive counting).
+func WithMethod(m TCMethod) Option {
+	return func(o *Options) { o.Method = m; o.MethodSet = true }
+}
+
+// WithPresort selects TriangleCount's degree relabeling. TCSortAuto
+// sorts only when the relabeling is estimated to pay, in the direction
+// the resolved method prefers.
+func WithPresort(p TCPresort) Option {
+	return func(o *Options) { o.Presort = p; o.PresortSet = true }
 }
 
 // WithStats records per-iteration traversal statistics into s.

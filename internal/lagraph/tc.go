@@ -1,12 +1,20 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"sort"
 
-// Triangle counting (§V, [34], [35]) in four classic linear-algebra
-// formulations, and k-truss (§V, [36], [37]). All require undirected
-// graphs; self loops are ignored by masking to the strict triangles.
+	"lagraph/internal/grb"
+	"lagraph/internal/obs"
+)
 
-// TCMethod selects the triangle counting formulation.
+// Triangle counting (§V, [34], [35]) as the full method family of the
+// LAGraph evolution study — Burkhardt, Cohen, and the Sandia variants over
+// both triangles and both multiply orientations — plus degree presort, and
+// k-truss (§V, [36], [37]). All require undirected graphs; self loops are
+// ignored by masking to the strict triangles.
+
+// TCMethod selects the triangle counting formulation. The zero value is
+// TCBurkhardt; TCAuto lets the library choose.
 type TCMethod int
 
 const (
@@ -18,11 +26,81 @@ const (
 	// TCSandiaLL computes sum(L·L ∘ L): each triangle counted once.
 	TCSandiaLL
 	// TCSandiaDot computes sum(L·Uᵀ ∘ L) using the dot-product kernel —
-	// the formulation that showcases the masked dot mxm (§II-A).
+	// the formulation that showcases the masked dot mxm (§II-A). In the
+	// LAGraph family naming this is SandiaLUT; TCSandiaLUT aliases it.
 	TCSandiaDot
+	// TCSandiaUU computes sum(U·U ∘ U): SandiaLL over the upper triangle.
+	TCSandiaUU
+	// TCSandiaULT computes sum(U·Lᵀ ∘ U) with the dot kernel: the
+	// transpose-orientation twin of SandiaLUT.
+	TCSandiaULT
+	// TCAuto picks the plan for the graph: the saxpy SandiaLL
+	// formulation, paired (unless the caller chose a presort explicitly)
+	// with TCSortAuto so that skewed orderings are repaired exactly when
+	// the work estimate says the relabeling pays.
+	TCAuto
 )
 
-// TriangleCount counts the triangles of an undirected graph.
+// TCSandiaLUT is the LAGraph family name for TCSandiaDot (L·Uᵀ masked by
+// L, computed with the dot kernel).
+const TCSandiaLUT = TCSandiaDot
+
+// tcMethodNames renders methods for iteration traces.
+var tcMethodNames = map[TCMethod]string{
+	TCBurkhardt: "burkhardt",
+	TCCohen:     "cohen",
+	TCSandiaLL:  "sandia-ll",
+	TCSandiaDot: "sandia-lut",
+	TCSandiaUU:  "sandia-uu",
+	TCSandiaULT: "sandia-ult",
+	TCAuto:      "auto",
+}
+
+// TCPresort selects the degree ordering applied to the graph before
+// counting. Relabeling vertices by ascending degree drastically evens out
+// the saxpy work of the LL formulation on skewed (power-law) graphs: a
+// hub relabeled to the highest index never appears as an inner index k,
+// so its long L row is never replayed into other rows' accumulations.
+// Descending order does the same for UU. The dot-product formulations are
+// different: their per-entry merge cost is |L(i,:)|+|U(j,:)|, and pushing
+// all hubs to one end concentrates those lengths instead of spreading
+// them, so sorting does not pay there (TCSortAuto leaves them alone).
+// The count is invariant under any vertex relabeling, so the permutation
+// needs no inverse on output — it is applied once, counted, and
+// discarded.
+type TCPresort int
+
+const (
+	// TCNoSort counts on the input ordering (the zero value).
+	TCNoSort TCPresort = iota
+	// TCSortAscending relabels vertices by ascending degree.
+	TCSortAscending
+	// TCSortDescending relabels vertices by descending degree.
+	TCSortDescending
+	// TCSortAuto sorts only when the estimated saxpy work of the natural
+	// ordering (Σᵥ d₋(v)·d₊(v), the exact inner-loop count of the LL
+	// formulation) exceeds tcSortWorkFactor× the entry count — the
+	// regime where hubs sit mid-ordering and their rows are replayed —
+	// and only for the methods whose shape the ordering helps.
+	TCSortAuto
+)
+
+// tcPresortNames renders presorts for iteration traces.
+var tcPresortNames = map[TCPresort]string{
+	TCNoSort:         "none",
+	TCSortAscending:  "ascending",
+	TCSortDescending: "descending",
+	TCSortAuto:       "auto",
+}
+
+// tcSortWorkFactor: TCSortAuto engages when the natural ordering's
+// estimated saxpy work exceeds this many multiples of the entry count
+// (the rebuild the sort costs is itself a small multiple of nnz).
+const tcSortWorkFactor = 4
+
+// TriangleCount counts the triangles of an undirected graph. method picks
+// the formulation (WithMethod overrides it, so callers using options can
+// pass TCAuto here); WithPresort selects the degree relabeling.
 func TriangleCount(g *Graph, method TCMethod, opts ...Option) (int64, error) {
 	if err := g.requireUndirected(); err != nil {
 		return 0, err
@@ -31,6 +109,17 @@ func TriangleCount(g *Graph, method TCMethod, opts ...Option) (int64, error) {
 	if err := cfg.canceled(); err != nil {
 		return 0, err
 	}
+	if cfg.MethodSet {
+		method = cfg.Method
+	}
+	if method < TCBurkhardt || method > TCAuto {
+		return 0, ErrBadArgument
+	}
+	presort := cfg.Presort
+	if presort < TCNoSort || presort > TCSortAuto {
+		return 0, ErrBadArgument
+	}
+
 	a := g.PatternInt64()
 	n := a.Nrows()
 	offDiag := grb.MustMatrix[int64](n, n)
@@ -39,6 +128,157 @@ func TriangleCount(g *Graph, method TCMethod, opts ...Option) (int64, error) {
 	}
 	a = offDiag
 
+	if method == TCAuto {
+		// The saxpy LL formulation: on well-ordered graphs its masked
+		// Gustavson pass does exactly Σ d₋·d₊ work (the family's
+		// measured best), and pairing it with the auto presort repairs
+		// the orderings where that estimate blows up.
+		method = TCSandiaLL
+		if !cfg.PresortSet {
+			presort = TCSortAuto
+		}
+	}
+	dir := tcResolvePresort(a, method, presort)
+	if dir != 0 {
+		var err error
+		if a, err = tcPermuteByDegree(a, dir); err != nil {
+			return 0, err
+		}
+	}
+
+	// Trace the resolved plan: method and presort are runtime decisions
+	// when the caller passed TCAuto / TCSortAuto, and BENCH_2's selection
+	// audit reads them back from here.
+	if ob := cfg.observer(); ob != nil {
+		sorted := "unsorted"
+		if dir > 0 {
+			sorted = "sorted-ascending"
+		} else if dir < 0 {
+			sorted = "sorted-descending"
+		}
+		ob.Iter(obs.IterRecord{
+			Algo: "tc", Iter: 1,
+			Dir:      tcMethodNames[method] + "/" + sorted,
+			Frontier: a.Nvals(),
+		})
+	}
+	if err := cfg.canceled(); err != nil {
+		return 0, err
+	}
+	return tcCount(a, method)
+}
+
+// tcResolvePresort turns the requested presort into a concrete direction:
+// +1 ascending, -1 descending, 0 none.
+func tcResolvePresort(a *grb.Matrix[int64], method TCMethod, presort TCPresort) int {
+	switch presort {
+	case TCSortAscending:
+		return 1
+	case TCSortDescending:
+		return -1
+	case TCSortAuto:
+		// Sorting costs an O(nnz) rebuild; it pays only when the
+		// method's triangle shape can exploit the ordering — the saxpy
+		// formulations LL and UU, whose inner-index replay the
+		// relabeling removes — and only when the natural ordering is
+		// actually bad. Σᵥ d₋(v)·d₊(v) is the exact saxpy inner-loop
+		// count of LL (and, symmetrically, UU) on the ordering as given:
+		// a hub already first or last contributes nothing, a hub
+		// mid-ordering contributes ~deg²/4. The dot formulations and the
+		// full-matrix methods see no benefit (measured: on a power-law
+		// graph an ascending sort inflates the masked-dot merge work by
+		// orders of magnitude), so auto never sorts them.
+		var prefer int
+		switch method {
+		case TCSandiaLL:
+			prefer = 1
+		case TCSandiaUU:
+			prefer = -1
+		default:
+			return 0
+		}
+		work, total := tcNaturalWork(a)
+		if total == 0 {
+			return 0
+		}
+		if work > tcSortWorkFactor*total {
+			return prefer
+		}
+		return 0
+	}
+	return 0
+}
+
+// tcNaturalWork estimates the saxpy triangle work of the input ordering:
+// for each vertex the product of its below-diagonal and above-diagonal
+// degrees, summed, alongside the total entry count. This is the exact
+// multiply count of the LL formulation's masked Gustavson pass (each
+// entry k of row i's strict lower triangle replays L(k,:), whose length
+// is d₋(k); k appears as such an inner index d₊(k) times).
+func tcNaturalWork(a *grb.Matrix[int64]) (work, total int64) {
+	is, js, _ := a.ExtractTuples()
+	n := a.Nrows()
+	dlo := make([]int32, n)
+	dhi := make([]int32, n)
+	for k := range is {
+		if js[k] < is[k] {
+			dlo[is[k]]++
+		} else if js[k] > is[k] {
+			dhi[is[k]]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		work += int64(dlo[v]) * int64(dhi[v])
+		total += int64(dlo[v]) + int64(dhi[v])
+	}
+	return work, total
+}
+
+// tcPermuteByDegree relabels the graph's vertices by degree (dir > 0
+// ascending, dir < 0 descending), breaking ties on the original index so
+// the permutation — and therefore every downstream kernel input — is
+// deterministic. The triangle count is invariant under relabeling, so
+// the permuted matrix simply replaces the original.
+func tcPermuteByDegree(a *grb.Matrix[int64], dir int) (*grb.Matrix[int64], error) {
+	n := a.Nrows()
+	is, js, xs := a.ExtractTuples()
+	deg := make([]int, n)
+	for _, i := range is {
+		deg[i]++
+	}
+	perm := make([]int, n) // perm[newIdx] = oldIdx
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(u, v int) bool {
+		du, dv := deg[perm[u]], deg[perm[v]]
+		if du != dv {
+			if dir > 0 {
+				return du < dv
+			}
+			return du > dv
+		}
+		return perm[u] < perm[v]
+	})
+	pinv := make([]int, n) // pinv[oldIdx] = newIdx
+	for newI, oldI := range perm {
+		pinv[oldI] = newI
+	}
+	for k := range is {
+		is[k] = pinv[is[k]]
+		js[k] = pinv[js[k]]
+	}
+	p := grb.MustMatrix[int64](n, n)
+	if err := p.Build(is, js, xs, grb.Second[int64, int64]()); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// tcCount runs one concrete formulation over the prepared off-diagonal
+// adjacency.
+func tcCount(a *grb.Matrix[int64], method TCMethod) (int64, error) {
+	n := a.Nrows()
 	plusPair := grb.PlusPair[int64, int64, int64]()
 	switch method {
 	case TCBurkhardt:
@@ -78,6 +318,17 @@ func TriangleCount(g *Graph, method TCMethod, opts ...Option) (int64, error) {
 		}
 		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), c)
 
+	case TCSandiaUU:
+		_, u, err := trilTriu(a)
+		if err != nil {
+			return 0, err
+		}
+		c := grb.MustMatrix[int64](n, n)
+		if err := grb.MxM(c, u, nil, plusPair, u, u, &grb.Descriptor{Method: grb.MxMGustavson}); err != nil {
+			return 0, err
+		}
+		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), c)
+
 	case TCSandiaDot:
 		l, u, err := trilTriu(a)
 		if err != nil {
@@ -88,6 +339,20 @@ func TriangleCount(g *Graph, method TCMethod, opts ...Option) (int64, error) {
 		c := grb.MustMatrix[int64](n, n)
 		d := &grb.Descriptor{TranB: true, Method: grb.MxMDot}
 		if err := grb.MxM(c, l, nil, plusPair, l, u, d); err != nil {
+			return 0, err
+		}
+		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), c)
+
+	case TCSandiaULT:
+		l, u, err := trilTriu(a)
+		if err != nil {
+			return 0, err
+		}
+		// U·Lᵀ with the dot kernel, masked by U: the mirror image of
+		// SandiaLUT.
+		c := grb.MustMatrix[int64](n, n)
+		d := &grb.Descriptor{TranB: true, Method: grb.MxMDot}
+		if err := grb.MxM(c, u, nil, plusPair, u, l, d); err != nil {
 			return 0, err
 		}
 		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), c)

@@ -1,0 +1,202 @@
+package lagraph
+
+import (
+	"strings"
+	"testing"
+
+	"lagraph/internal/baseline"
+	"lagraph/internal/gen"
+	"lagraph/internal/obs"
+)
+
+// tcAllMethods enumerates the full formulation family, including the
+// aliases and the adaptive entry.
+var tcAllMethods = []struct {
+	name string
+	m    TCMethod
+}{
+	{"burkhardt", TCBurkhardt}, {"cohen", TCCohen},
+	{"sandiaLL", TCSandiaLL}, {"sandiaLUT", TCSandiaLUT},
+	{"sandiaUU", TCSandiaUU}, {"sandiaULT", TCSandiaULT},
+	{"auto", TCAuto},
+}
+
+var tcAllPresorts = []struct {
+	name string
+	p    TCPresort
+}{
+	{"nosort", TCNoSort}, {"asc", TCSortAscending},
+	{"desc", TCSortDescending}, {"autosort", TCSortAuto},
+}
+
+// TestTriangleCountFamilyAgrees: every method × presort combination must
+// report the same count as the dense baseline — the triangle count is
+// invariant under both the formulation and any vertex relabeling.
+func TestTriangleCountFamilyAgrees(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		g := rmatGraph(t, 8, 8, seed, true)
+		want := baseline.TriangleCount(baseline.FromMatrix(g.A.Dup()))
+		for _, m := range tcAllMethods {
+			for _, p := range tcAllPresorts {
+				got, err := TriangleCount(g, m.m, WithPresort(p.p))
+				if err != nil {
+					t.Fatalf("%s/%s: %v", m.name, p.name, err)
+				}
+				if got != want {
+					t.Fatalf("%s/%s: %d triangles, want %d", m.name, p.name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTriangleCountNewMethodsSmall pins the new formulations on a graph
+// with a known count.
+func TestTriangleCountNewMethodsSmall(t *testing.T) {
+	k4 := FromEdgeList(gen.Complete(4, gen.Config{Undirected: true}), Undirected)
+	for _, m := range tcAllMethods {
+		for _, p := range tcAllPresorts {
+			if c, err := TriangleCount(k4, m.m, WithPresort(p.p)); err != nil || c != 4 {
+				t.Fatalf("K4 %s/%s: %d (%v)", m.name, p.name, c, err)
+			}
+		}
+	}
+}
+
+// TestTriangleCountWithMethod: the option overrides the positional
+// argument, and the MethodSet latch lets the zero-valued TCBurkhardt be
+// selected explicitly.
+func TestTriangleCountWithMethod(t *testing.T) {
+	g := rmatGraph(t, 8, 8, 3, true)
+	want := baseline.TriangleCount(baseline.FromMatrix(g.A.Dup()))
+	got, err := TriangleCount(g, TCSandiaLL, WithMethod(TCBurkhardt))
+	if err != nil || got != want {
+		t.Fatalf("WithMethod(TCBurkhardt): %d (%v), want %d", got, err, want)
+	}
+	got, err = TriangleCount(g, TCBurkhardt, WithMethod(TCAuto), WithPresort(TCSortAuto))
+	if err != nil || got != want {
+		t.Fatalf("WithMethod(TCAuto): %d (%v), want %d", got, err, want)
+	}
+}
+
+// TestTriangleCountBadArguments: out-of-range methods and presorts are
+// rejected, not silently clamped.
+func TestTriangleCountBadArguments(t *testing.T) {
+	g := rmatGraph(t, 6, 4, 1, true)
+	if _, err := TriangleCount(g, TCMethod(99)); err != ErrBadArgument {
+		t.Fatalf("method 99: %v, want ErrBadArgument", err)
+	}
+	if _, err := TriangleCount(g, TCBurkhardt, WithPresort(TCPresort(99))); err != ErrBadArgument {
+		t.Fatalf("presort 99: %v, want ErrBadArgument", err)
+	}
+	if _, err := TriangleCount(g, TCBurkhardt, WithMethod(TCMethod(-1))); err != ErrBadArgument {
+		t.Fatalf("WithMethod(-1): %v, want ErrBadArgument", err)
+	}
+}
+
+// midHubStar builds a star whose hub sits mid-ordering (plus one closing
+// edge so a triangle exists): the worst natural labeling for the saxpy
+// formulations — the hub's long strict-lower row is replayed by every
+// higher-indexed neighbor — and therefore the shape TCSortAuto must
+// repair.
+func midHubStar(n int) *gen.EdgeList {
+	el := &gen.EdgeList{N: n}
+	hub := n / 2
+	for v := 0; v < n; v++ {
+		if v != hub {
+			el.Src = append(el.Src, hub, v)
+			el.Dst = append(el.Dst, v, hub)
+			el.W = append(el.W, 1, 1)
+		}
+	}
+	el.Src = append(el.Src, 1, 2)
+	el.Dst = append(el.Dst, 2, 1)
+	el.W = append(el.W, 1, 1)
+	return el
+}
+
+// TestTriangleCountTracesDecision: the resolved method and presort are
+// runtime decisions under TCAuto/TCSortAuto; the trace must surface them.
+func TestTriangleCountTracesDecision(t *testing.T) {
+	g := FromEdgeList(midHubStar(64), Undirected)
+
+	tr := obs.NewTrace(16)
+	if _, err := TriangleCount(g, TCSandiaLL, WithPresort(TCSortAuto), WithObserver(tr)); err != nil {
+		t.Fatal(err)
+	}
+	var recs []obs.IterRecord
+	for _, r := range tr.Iters() {
+		if r.Algo == "tc" {
+			recs = append(recs, r)
+		}
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d tc trace records, want 1", len(recs))
+	}
+	// The saxpy LL formulation prefers ascending order, and the work
+	// estimate (hub mid-ordering → Σ d₋·d₊ ≫ nnz) must have engaged.
+	if recs[0].Dir != "sandia-ll/sorted-ascending" {
+		t.Fatalf("traced decision %q, want sandia-ll/sorted-ascending", recs[0].Dir)
+	}
+	if recs[0].Frontier <= 0 {
+		t.Fatalf("traced record has no edge count: %+v", recs[0])
+	}
+
+	// TCAuto resolves to the same plan — LL plus the implied auto
+	// presort — without the caller naming either.
+	tr2 := obs.NewTrace(16)
+	if _, err := TriangleCount(g, TCAuto, WithObserver(tr2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr2.Iters() {
+		if r.Algo == "tc" && r.Dir != "sandia-ll/sorted-ascending" {
+			t.Fatalf("auto on skewed graph traced %q, want sandia-ll/sorted-ascending", r.Dir)
+		}
+	}
+
+	// The dot formulation never auto-sorts (sorting concentrates its
+	// merge work instead of spreading it).
+	tr3 := obs.NewTrace(16)
+	if _, err := TriangleCount(g, TCSandiaLUT, WithPresort(TCSortAuto), WithObserver(tr3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr3.Iters() {
+		if r.Algo == "tc" && r.Dir != "sandia-lut/unsorted" {
+			t.Fatalf("dot on skewed graph traced %q, want sandia-lut/unsorted", r.Dir)
+		}
+	}
+
+	// On a degree-regular graph no method auto-sorts: every vertex's
+	// below/above split is balanced but tiny, so the estimate stays
+	// under the rebuild bar.
+	ring := FromEdgeList(gen.Ring(32, gen.Config{Undirected: true}), Undirected)
+	tr4 := obs.NewTrace(16)
+	if _, err := TriangleCount(ring, TCAuto, WithObserver(tr4)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr4.Iters() {
+		if r.Algo == "tc" && !strings.HasSuffix(r.Dir, "/unsorted") {
+			t.Fatalf("regular graph traced %q, want */unsorted", r.Dir)
+		}
+	}
+}
+
+// TestTriangleCountPresortDeterministic: the degree sort breaks ties on
+// vertex index, so repeated runs produce identical results even on
+// degree-regular graphs where every comparison ties.
+func TestTriangleCountPresortDeterministic(t *testing.T) {
+	g := rmatGraph(t, 7, 8, 9, true)
+	first, err := TriangleCount(g, TCSandiaLUT, WithPresort(TCSortAscending))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := TriangleCount(g, TCSandiaLUT, WithPresort(TCSortAscending))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("run %d: %d, first run %d", i, again, first)
+		}
+	}
+}

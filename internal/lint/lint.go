@@ -79,6 +79,7 @@ func Checks() []*Check {
 		atomicFieldsCheck(),
 		kernelPurityCheck(),
 		errorDisciplineCheck(),
+		formatInvariantsCheck(),
 	}
 }
 

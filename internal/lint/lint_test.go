@@ -49,7 +49,7 @@ func TestFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fixtures := []string{"determinism", "pending", "atomicfields", "purity", "errdiscipline"}
+	fixtures := []string{"determinism", "pending", "atomicfields", "purity", "errdiscipline", "format"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", name)

@@ -27,6 +27,7 @@ type Counters struct {
 	Heap      atomic.Int64
 	Push      atomic.Int64
 	Pull      atomic.Int64
+	Bitmap    atomic.Int64 // bitmap-format kernels: "bitmap" vxm, "dot-bitmap" mxm
 }
 
 // Now implements Observer via the package clock.
@@ -49,6 +50,8 @@ func (c *Counters) Op(r OpRecord) {
 		c.Push.Add(1)
 	case "pull":
 		c.Pull.Add(1)
+	case "bitmap", "dot-bitmap":
+		c.Bitmap.Add(1)
 	case "assemble":
 		c.Waits.Add(1)
 		c.Pending.Add(int64(r.Pending))
@@ -75,6 +78,7 @@ type CounterSnapshot struct {
 	Heap      int64 `json:"heap,omitempty"`
 	Push      int64 `json:"push,omitempty"`
 	Pull      int64 `json:"pull,omitempty"`
+	Bitmap    int64 `json:"bitmap,omitempty"`
 }
 
 // Snapshot reads every counter.
@@ -93,6 +97,7 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Heap:      c.Heap.Load(),
 		Push:      c.Push.Load(),
 		Pull:      c.Pull.Load(),
+		Bitmap:    c.Bitmap.Load(),
 	}
 }
 
@@ -112,6 +117,37 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		Heap:      s.Heap - prev.Heap,
 		Push:      s.Push - prev.Push,
 		Pull:      s.Pull - prev.Pull,
+		Bitmap:    s.Bitmap - prev.Bitmap,
+	}
+}
+
+// Multi fans every record out to several observers in order — the way to
+// run a Trace (or Counters) alongside the kernel tuner, which is itself an
+// Observer. Now comes from the first observer so durations stay on a
+// single clock; an empty Multi falls back to the package clock.
+type Multi struct {
+	Obs []Observer
+}
+
+// Now implements Observer.
+func (m *Multi) Now() int64 {
+	if len(m.Obs) > 0 {
+		return m.Obs[0].Now()
+	}
+	return Clock()
+}
+
+// Op implements Observer.
+func (m *Multi) Op(r OpRecord) {
+	for _, o := range m.Obs {
+		o.Op(r)
+	}
+}
+
+// Iter implements Observer.
+func (m *Multi) Iter(r IterRecord) {
+	for _, o := range m.Obs {
+		o.Iter(r)
 	}
 }
 
