@@ -3,22 +3,24 @@
 //
 // Usage:
 //
-//	go run ./cmd/grblint [-json] [-checks a,b] [-list] [packages...]
+//	go run ./cmd/grblint [-json] [-checks a,b] [-list] [-list-ignores] [packages...]
 //
 // Packages are directories, with the go-tool "..." wildcard supported
 // (default "./..."). Exit status is 0 when clean, 1 when any diagnostic
 // is reported, 2 on a usage or load error.
 //
 // Individual findings can be suppressed with a trailing or preceding
-// comment:
+// comment; the reason is mandatory (a bare directive is itself a
+// diagnostic) and -list-ignores inventories every suppression in scope:
 //
-//	//grblint:ignore <check>[,<check>...] <reason>
+//	//grblint:ignore <check>[,<check>...]: <reason>
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,17 +29,28 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := flag.Bool("list", false, "list available checks and exit")
-	verbose := flag.Bool("v", false, "report packages as they are checked and any type-check noise")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, factored so the exit-status/output contract —
+// what CI and the driver tests key on — is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("grblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics (or ignores) as a JSON array")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	listIgnores := fs.Bool("list-ignores", false, "inventory every grblint:ignore directive and exit")
+	verbose := fs.Bool("v", false, "report packages as they are checked and any type-check noise")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, c := range lint.Checks() {
-			fmt.Printf("%-18s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", c.Name, c.Doc)
 		}
-		return
+		return 0
 	}
 
 	var selection []string
@@ -49,72 +62,110 @@ func main() {
 		for _, name := range strings.Split(*checksFlag, ",") {
 			name = strings.TrimSpace(name)
 			if !known[name] {
-				fmt.Fprintf(os.Stderr, "grblint: unknown check %q (use -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "grblint: unknown check %q (use -list)\n", name)
+				return 2
 			}
 			selection = append(selection, name)
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	loader, err := lint.NewLoader(".")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "grblint: %v\n", err)
+		return 2
 	}
 	dirs, err := loader.Expand(patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "grblint: %v\n", err)
+		return 2
 	}
 
 	cwd, _ := os.Getwd()
+	relative := func(path string) string {
+		if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return path
+	}
+
 	var all []lint.Diagnostic
+	var ignores []lint.IgnoreDirective
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "grblint: %s: %v\n", dir, err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "grblint: %s: %v\n", dir, err)
+			return 2
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "grblint: checking %s (%d files, %d type notes)\n",
+			fmt.Fprintf(stderr, "grblint: checking %s (%d files, %d type notes)\n",
 				pkg.Path, len(pkg.Files), len(pkg.TypeErrors))
 			for _, te := range pkg.TypeErrors {
-				fmt.Fprintf(os.Stderr, "grblint:   note: %v\n", te)
+				fmt.Fprintf(stderr, "grblint:   note: %v\n", te)
 			}
+		}
+		if *listIgnores {
+			for _, ig := range lint.Ignores(pkg) {
+				ig.File = relative(ig.File)
+				ignores = append(ignores, ig)
+			}
+			continue
 		}
 		diags := lint.RunChecks(pkg, selection)
 		for i := range diags {
-			if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-				diags[i].File = rel
-			}
+			diags[i].File = relative(diags[i].File)
 		}
 		all = append(all, diags...)
 	}
 
+	if *listIgnores {
+		if *jsonOut {
+			if ignores == nil {
+				ignores = []lint.IgnoreDirective{}
+			}
+			return encodeJSON(stdout, stderr, ignores)
+		}
+		for _, ig := range ignores {
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n",
+				ig.File, ig.Line, strings.Join(ig.Checks, ","), ig.Reason)
+		}
+		fmt.Fprintf(stderr, "grblint: %d ignore directive(s)\n", len(ignores))
+		return 0
+	}
+
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
 		if all == nil {
 			all = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(all); err != nil {
-			fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
-			os.Exit(2)
+		if code := encodeJSON(stdout, stderr, all); code != 0 {
+			return code
 		}
 	} else {
 		for _, d := range all {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(all) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "grblint: %d diagnostic(s)\n", len(all))
+			fmt.Fprintf(stderr, "grblint: %d diagnostic(s)\n", len(all))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// encodeJSON writes v as indented JSON, mapping encoder failure onto the
+// load-error exit status.
+func encodeJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(stderr, "grblint: %v\n", err)
+		return 2
+	}
+	return 0
 }

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lagraph/internal/lint"
+)
+
+// writeModule materializes a throwaway Go module the driver can be
+// pointed at, returning its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runIn executes the driver from dir, capturing exit code and output.
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	t.Chdir(dir)
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const goMod = "module tmpmod\n\ngo 1.24\n"
+
+// cleanSrc has nothing for any check to object to.
+const cleanSrc = `package widget
+
+// Add sums two ints.
+func Add(a, b int) int { return a + b }
+`
+
+// leakySrc spawns a goroutine with no termination path — the one finding
+// whose check applies in every package.
+const leakySrc = `package widget
+
+// Leak pumps ch forever with no way to stop.
+func Leak(ch chan int) {
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}
+`
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "widget/widget.go": cleanSrc})
+	code, stdout, stderr := runIn(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean module wrote diagnostics: %s", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "widget/widget.go": leakySrc})
+	code, stdout, stderr := runIn(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("leaky module: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "goroutine-lifecycle") {
+		t.Errorf("diagnostic does not name its check:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 diagnostic(s)") {
+		t.Errorf("missing summary line on stderr: %s", stderr)
+	}
+}
+
+func TestExitCodeLoadError(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod})
+	if code, _, _ := runIn(t, dir, "./no/such/dir"); code != 2 {
+		t.Errorf("missing package: exit %d, want 2", code)
+	}
+	if code, _, stderr := runIn(t, dir, "-checks", "no-such-check", "./..."); code != 2 || !strings.Contains(stderr, "unknown check") {
+		t.Errorf("unknown check: exit %d, stderr %q, want 2 + message", code, stderr)
+	}
+}
+
+func TestJSONSchema(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "widget/widget.go": leakySrc})
+	code, stdout, _ := runIn(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not a diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d", len(diags))
+	}
+	d := diags[0]
+	if d.Check != "goroutine-lifecycle" || d.Line <= 0 || !strings.HasSuffix(d.File, "widget.go") || d.Message == "" {
+		t.Errorf("incomplete diagnostic: %+v", d)
+	}
+
+	// A clean run still emits a well-formed (empty) array.
+	clean := writeModule(t, map[string]string{"go.mod": goMod, "widget/widget.go": cleanSrc})
+	_, stdout, _ = runIn(t, clean, "-json", "./...")
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil || len(diags) != 0 {
+		t.Errorf("clean -json output: %q (err %v)", stdout, err)
+	}
+}
+
+func TestChecksFiltering(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "widget/widget.go": leakySrc})
+	if code, _, _ := runIn(t, dir, "-checks", "kernel-purity", "./..."); code != 0 {
+		t.Errorf("filtered-out finding still reported: exit %d", code)
+	}
+	if code, _, _ := runIn(t, dir, "-checks", "goroutine-lifecycle", "./..."); code != 1 {
+		t.Errorf("selected check suppressed: exit %d", code)
+	}
+}
+
+func TestSuppressionAndInventory(t *testing.T) {
+	suppressed := `package widget
+
+// Pump drains ch until the process exits; ownership documented below.
+func Pump(ch chan int) {
+	//grblint:ignore goroutine-lifecycle: process-lifetime pump, exits with main
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}
+`
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "widget/widget.go": suppressed})
+	if code, stdout, _ := runIn(t, dir, "./..."); code != 0 {
+		t.Fatalf("justified ignore did not suppress: exit %d\n%s", code, stdout)
+	}
+
+	code, stdout, stderr := runIn(t, dir, "-list-ignores", "./...")
+	if code != 0 {
+		t.Fatalf("-list-ignores: exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "goroutine-lifecycle") || !strings.Contains(stdout, "process-lifetime pump") {
+		t.Errorf("inventory missing the directive:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 ignore directive(s)") {
+		t.Errorf("missing inventory summary: %s", stderr)
+	}
+
+	var igs []lint.IgnoreDirective
+	_, stdout, _ = runIn(t, dir, "-list-ignores", "-json", "./...")
+	if err := json.Unmarshal([]byte(stdout), &igs); err != nil {
+		t.Fatalf("-list-ignores -json: %v\n%s", err, stdout)
+	}
+	if len(igs) != 1 || igs[0].Checks[0] != "goroutine-lifecycle" || igs[0].Reason == "" {
+		t.Errorf("bad inventory entry: %+v", igs)
+	}
+}
+
+func TestBareIgnoreIsAFinding(t *testing.T) {
+	bare := `package widget
+
+// Pump drains ch forever.
+func Pump(ch chan int) {
+	//grblint:ignore goroutine-lifecycle
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}
+`
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "widget/widget.go": bare})
+	code, stdout, _ := runIn(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("bare ignore: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "ignore-justification") {
+		t.Errorf("bare ignore not reported as ignore-justification:\n%s", stdout)
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod})
+	code, stdout, _ := runIn(t, dir, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range lint.CheckNames() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing %s", name)
+		}
+	}
+}

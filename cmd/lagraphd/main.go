@@ -113,28 +113,11 @@ func main() {
 	// generation moved since their last durable write. Runs off the query
 	// path — snapshots share each entry's read lock with queries.
 	if pers != nil && *snapEvery > 0 {
-		go func() {
-			tick := time.NewTicker(*snapEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-					res, err := pers.FlushDirty()
-					if err != nil {
-						log.Printf("lagraphd: background snapshot: %v", err)
-					}
-					for _, sr := range res.Snapshotted {
-						log.Printf("lagraphd: snapshotted %q gen %d (%d bytes, %.1fms)",
-							sr.Name, sr.Generation, sr.Bytes, sr.ElapsedMS)
-					}
-				}
-			}
-		}()
+		go snapshotLoop(ctx, pers, *snapEvery)
 	}
 
 	errc := make(chan error, 1)
+	//grblint:ignore goroutine-lifecycle: ListenAndServe returns when Shutdown closes the listener; errc is buffered so the send never blocks
 	go func() {
 		log.Printf("lagraphd: listening on %s", *addr)
 		errc <- hs.ListenAndServe()
@@ -166,6 +149,31 @@ func main() {
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "lagraphd:", err)
 			os.Exit(1)
+		}
+	}
+}
+
+// snapshotLoop persists graphs whose generation moved since their last
+// durable write, every interval, until ctx ends. Runs off the query path:
+// snapshots share each entry's read lock with queries. A named function
+// (not a literal in main) so the shutdown test can drive and leak-check
+// it directly.
+func snapshotLoop(ctx context.Context, pers *store.Persister, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			res, err := pers.FlushDirty()
+			if err != nil {
+				log.Printf("lagraphd: background snapshot: %v", err)
+			}
+			for _, sr := range res.Snapshotted {
+				log.Printf("lagraphd: snapshotted %q gen %d (%d bytes, %.1fms)",
+					sr.Name, sr.Generation, sr.Bytes, sr.ElapsedMS)
+			}
 		}
 	}
 }

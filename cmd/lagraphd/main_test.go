@@ -1,0 +1,60 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lagraph/internal/catalog"
+	"lagraph/internal/gen"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/leakcheck"
+	"lagraph/internal/store"
+)
+
+// TestSnapshotLoopStops drives the daemon's background snapshotter the
+// way main does — a cancelable context and a periodic interval — and
+// pins both halves of its contract: ticks flush dirty graphs into the
+// durable store, and context cancellation terminates the goroutine
+// (leakcheck fails the test if it parks forever).
+func TestSnapshotLoopStops(t *testing.T) {
+	leakcheck.Check(t)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	pers := store.NewPersister(st, cat)
+
+	n := 1 << 4
+	e := gen.PowerLaw(n, 4*n, 1.8, gen.Config{Seed: 7, Undirected: true, NoSelfLoops: true})
+	g, err := lagraph.NewGraph(e.Matrix(), lagraph.Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Add("g", g); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		snapshotLoop(ctx, pers, 5*time.Millisecond)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pers.Dirty()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot loop never flushed the dirty graph")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot loop did not stop on context cancellation")
+	}
+}

@@ -134,7 +134,15 @@ func run(opts options) error {
 		{"algo": "cc"},
 		{"algo": "tc"},
 	}
-	jobs := make(chan int)
+	// The job queue is filled and closed up front (it is small — one int
+	// per query), so the workers are plain drain-until-closed goroutines
+	// and the spawner's wg.Wait() bounds their lifetime; no feeder
+	// goroutine to leak if a worker dies early.
+	jobs := make(chan int, queries)
+	for i := 0; i < queries; i++ {
+		jobs <- i
+	}
+	close(jobs)
 	results := make(chan result, queries)
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
@@ -159,14 +167,11 @@ func run(opts options) error {
 			}
 		}()
 	}
-	go func() {
-		for i := 0; i < queries; i++ {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	// results is buffered for every query, so the workers finish without a
+	// concurrent reader and the loop below sees a closed, fully-drained
+	// channel.
+	wg.Wait()
+	close(results)
 
 	// Identical algo+params must give identical checksums: bitwise
 	// determinism is part of the service contract.

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lagraph/internal/catalog"
+	"lagraph/internal/leakcheck"
+	"lagraph/internal/obs"
+	"lagraph/internal/svc"
+)
+
+// TestRunAgainstRealService drives the full loadgen round-trip — load,
+// concurrent query mix, determinism check, metrics validation — against
+// an in-process service. It is the regression test for the worker-pool
+// restructure: the job queue is filled and closed before any worker
+// starts, so when run() returns there is no feeder goroutine left behind
+// for leakcheck to catch.
+func TestRunAgainstRealService(t *testing.T) {
+	leakcheck.Check(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+	s := svc.New(catalog.New(), &obs.Counters{}, svc.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	err := run(options{
+		base: ts.URL, name: "loadgen-test", scale: 5,
+		queries: 24, parallel: 4, wait: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunReportsUnhealthyDaemon pins the failure path: no daemon behind
+// the URL must surface as an error, not a hang, within the -wait budget.
+func TestRunReportsUnhealthyDaemon(t *testing.T) {
+	leakcheck.Check(t)
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close()
+	err := run(options{base: ts.URL, wait: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("run against a dead daemon succeeded")
+	}
+}

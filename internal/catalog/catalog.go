@@ -58,7 +58,7 @@ type Stats struct {
 // Catalog is a concurrency-safe name → Entry registry.
 type Catalog struct {
 	mu      sync.RWMutex
-	entries map[string]*Entry
+	entries map[string]*Entry //grblint:guardedby mu
 
 	views   atomic.Int64
 	updates atomic.Int64

@@ -12,6 +12,7 @@ import (
 	"lagraph/internal/gen"
 	"lagraph/internal/grb"
 	"lagraph/internal/lagraph"
+	"lagraph/internal/leakcheck"
 )
 
 // testGraph builds a deterministic undirected power-law graph.
@@ -184,6 +185,7 @@ func bfsChecksum(t testing.TB, e *Entry) string {
 // invalidating through Update. Readers assert that within one generation
 // results are bitwise identical to a serial run of the same generation.
 func TestConcurrentReadersOneWriter(t *testing.T) {
+	leakcheck.Check(t)
 	const (
 		readers  = 8
 		queries  = 24 // per reader
@@ -299,6 +301,7 @@ func TestConcurrentReadersOneWriter(t *testing.T) {
 // reference), no matter how many queries share the read lock while the
 // bytes stream out.
 func TestSnapshotterVsReadersVsWriter(t *testing.T) {
+	leakcheck.Check(t)
 	const (
 		readers = 8
 		queries = 16 // per reader

@@ -36,8 +36,8 @@ type Entry struct {
 	cat  *Catalog
 
 	mu   sync.RWMutex
-	g    *lagraph.Graph
-	warm bool
+	g    *lagraph.Graph //grblint:guardedby mu
+	warm bool           //grblint:guardedby mu
 	// gen is atomic (not guarded by mu) so Generation can be read from
 	// inside a View callback — a nested RLock would deadlock against a
 	// queued writer. Writes still happen only under the exclusive lock.
@@ -46,8 +46,8 @@ type Entry struct {
 	// warm-time flags (valid while warm is true, kept until next Update
 	// so Properties of a cold entry can still report the last-known
 	// values alongside Warm=false).
-	symmetric bool
-	selfLoops int
+	symmetric bool //grblint:guardedby mu
+	selfLoops int  //grblint:guardedby mu
 }
 
 // Name returns the registered name.
@@ -58,6 +58,8 @@ func (e *Entry) Name() string { return e.name }
 // lazy property getters AT/OutDegree/InDegree/PatternInt64, which are
 // all warm cache hits) concurrently with other View calls. fn must not
 // mutate the graph; mutations go through Update.
+//
+//grblint:holdslock mu read
 func (e *Entry) View(fn func(g *lagraph.Graph) error) error {
 	for {
 		e.mu.RLock()
@@ -78,6 +80,8 @@ func (e *Entry) View(fn func(g *lagraph.Graph) error) error {
 // e.g the matrix). On exit — success or error — the entry invalidates the
 // property cache, assembles all pending tuples (Wait before publish:
 // readers must never race a lazy assembly), and bumps the generation.
+//
+//grblint:holdslock mu
 func (e *Entry) Update(fn func(g *lagraph.Graph) error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -562,7 +562,7 @@ func (a *Matrix[T]) Build(is, js []int, xs []T, dup BinaryOp[T, T, T]) error {
 	// Build requires an empty matrix; staleness is unobservable because the
 	// stored-entry read is paired with the pending-buffer check, and the
 	// raw csr read is safe because every format keeps csr canonical.
-	if a.csr.nvals() != 0 || len(a.pend) > 0 { //grblint:ignore pending-tuples,format-invariants read paired with pend check; csr is canonical in every format
+	if a.csr.nvals() != 0 || len(a.pend) > 0 { //grblint:ignore pending-tuples,format-invariants: read paired with pend check; csr is canonical in every format
 		return opErrorf("build", ErrInvalidValue, "matrix is not empty")
 	}
 	c, err := assembleCS(a.nr, a.nc, is, js, xs, dup)

@@ -64,7 +64,7 @@ const (
 // obs.Set(&obs.Multi{Obs: []obs.Observer{trace, tuner}}).
 type Tuner struct {
 	mu    sync.Mutex
-	stats map[tunerKey]*tunerStat
+	stats map[tunerKey]*tunerStat //grblint:guardedby mu
 }
 
 // NewTuner returns an empty tuner.
@@ -99,7 +99,7 @@ func sizeBucket(size int64) int {
 // Now implements obs.Observer via the obs package clock: the Tuner IS an
 // injected observer, so this is the clock seam itself, not a kernel
 // reading time.
-func (t *Tuner) Now() int64 { return obs.Clock() } //grblint:ignore kernel-purity observer clock implementation
+func (t *Tuner) Now() int64 { return obs.Clock() } //grblint:ignore kernel-purity: observer clock implementation
 
 // Iter implements obs.Observer; iteration records carry no kernel choice.
 func (t *Tuner) Iter(obs.IterRecord) {}
@@ -134,6 +134,9 @@ func (t *Tuner) Op(r obs.OpRecord) {
 	t.mu.Unlock()
 }
 
+// cell returns (allocating if needed) one history cell. Callers hold t.mu.
+//
+//grblint:locked mu
 func (t *Tuner) cell(k tunerKey) *tunerStat {
 	s := t.stats[k]
 	if s == nil {
@@ -201,7 +204,7 @@ func (t *Tuner) Calibration() []KernelCalibration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	keys := make([]tunerKey, 0, len(t.stats))
-	//grblint:ignore determinism keys are fully sorted before use below
+	//grblint:ignore determinism: keys are fully sorted before use below
 	for k := range t.stats {
 		if k.bucket == -1 {
 			keys = append(keys, k)

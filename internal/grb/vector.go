@@ -240,7 +240,7 @@ func (v *Vector[T]) Build(is []int, xs []T, dup BinaryOp[T, T, T]) error {
 	}
 	// Build requires an empty vector; staleness is unobservable because the
 	// stored-entry read is paired with the pending-buffer check.
-	if len(v.idx) != 0 || len(v.pend) > 0 { //grblint:ignore pending-tuples read paired with pend check
+	if len(v.idx) != 0 || len(v.pend) > 0 { //grblint:ignore pending-tuples: read paired with pend check
 		return opErrorf("build", ErrInvalidValue, "vector is not empty")
 	}
 	for _, i := range is {

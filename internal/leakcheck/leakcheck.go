@@ -1,0 +1,119 @@
+// Package leakcheck is the runtime companion to grblint's static
+// goroutine-lifecycle check: the analyzer proves every go statement HAS a
+// termination path, this package verifies the path is actually TAKEN. A
+// test calls Check(t) first thing; at cleanup time every goroutine that
+// appeared since and did not exit within a grace period fails the test
+// with its full stack.
+//
+// Goroutine identity comes from the runtime.Stack header ("goroutine N
+// [state]:"): IDs increase monotonically and are never reused, so any ID
+// absent from the baseline snapshot is new. The grace period absorbs
+// goroutines that are mid-exit when the test body returns (a worker
+// draining its last job, an http server closing keep-alives) — a real
+// leak is parked on a channel or ticker and never goes away.
+package leakcheck
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// graceTimeout is how long cleanup waits for stragglers to exit before
+// declaring them leaked. Long enough for connection teardown, short
+// enough not to stall the suite on a genuine leak.
+const graceTimeout = 2 * time.Second
+
+// Check snapshots the currently live goroutines and registers a cleanup
+// that fails t if goroutines spawned during the test survive the grace
+// period. Call it before starting any servers or pools so their
+// goroutines are attributed to the test, not the baseline.
+func Check(t testing.TB) {
+	t.Helper()
+	base := snapshot()
+	t.Cleanup(func() {
+		if leaks := wait(base, graceTimeout); len(leaks) > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+				len(leaks), strings.Join(leaks, "\n\n"))
+		}
+	})
+}
+
+// wait polls until every non-baseline, non-system goroutine has exited or
+// the timeout passes, returning the stacks of the survivors.
+func wait(baseline map[int64]string, timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	for {
+		leaks := leaked(baseline)
+		if len(leaks) == 0 || time.Now().After(deadline) {
+			return leaks
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// leaked returns the stacks of goroutines that are neither in the
+// baseline nor attributable to the runtime/test machinery.
+func leaked(baseline map[int64]string) []string {
+	var leaks []string
+	for id, stack := range snapshot() {
+		if _, ok := baseline[id]; ok || systemGoroutine(stack) {
+			continue
+		}
+		leaks = append(leaks, stack)
+	}
+	return leaks
+}
+
+// systemGoroutine reports stacks owned by the runtime, the testing
+// framework, or process-lifetime signal handling — infrastructure a test
+// neither started nor can stop.
+func systemGoroutine(stack string) bool {
+	for _, marker := range []string{
+		"created by runtime",
+		"created by testing.",
+		"created by os/signal.",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot captures every goroutine's stack, keyed by goroutine ID.
+func snapshot() map[int64]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := map[int64]string{}
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if id, ok := goroutineID(block); ok {
+			out[id] = block
+		}
+	}
+	return out
+}
+
+// goroutineID parses the "goroutine N [state]:" header of one stack
+// block.
+func goroutineID(block string) (int64, bool) {
+	rest, ok := strings.CutPrefix(block, "goroutine ")
+	if !ok {
+		return 0, false
+	}
+	end := strings.IndexByte(rest, ' ')
+	if end < 0 {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(rest[:end], 10, 64)
+	return id, err == nil
+}

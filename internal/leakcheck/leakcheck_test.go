@@ -1,0 +1,72 @@
+package leakcheck
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsParkedGoroutine pins the core mechanism: a goroutine parked
+// on a channel after the baseline is reported with its stack, and stops
+// being reported once released.
+func TestDetectsParkedGoroutine(t *testing.T) {
+	base := snapshot()
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+	leaks := wait(base, 100*time.Millisecond)
+	if len(leaks) != 1 {
+		t.Fatalf("want 1 leak while parked, got %d: %v", len(leaks), leaks)
+	}
+	if !strings.Contains(leaks[0], "leakcheck.TestDetectsParkedGoroutine") {
+		t.Errorf("leak stack should name the spawner:\n%s", leaks[0])
+	}
+	close(release)
+	if leaks := wait(base, graceTimeout); len(leaks) != 0 {
+		t.Fatalf("leak persisted after release: %v", leaks)
+	}
+}
+
+// TestGraceAbsorbsStragglers verifies a goroutine that is merely slow to
+// exit — not parked forever — passes within the grace period.
+func TestGraceAbsorbsStragglers(t *testing.T) {
+	base := snapshot()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+	}()
+	if leaks := wait(base, graceTimeout); len(leaks) != 0 {
+		t.Fatalf("straggler within grace reported as leak: %v", leaks)
+	}
+}
+
+// TestCheckCleanPasses wires the public API into a test that starts and
+// properly shuts down an HTTP server — the shape every service test has.
+func TestCheckCleanPasses(t *testing.T) {
+	Check(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Client().CloseIdleConnections()
+	ts.Close()
+}
+
+// TestGoroutineID covers the header parser against real and junk input.
+func TestGoroutineID(t *testing.T) {
+	if id, ok := goroutineID("goroutine 42 [running]:\nmain.main()"); !ok || id != 42 {
+		t.Errorf("goroutineID(real header) = %d, %v", id, ok)
+	}
+	for _, junk := range []string{"", "goroutine x [running]:", "not a header"} {
+		if _, ok := goroutineID(junk); ok {
+			t.Errorf("goroutineID(%q) unexpectedly parsed", junk)
+		}
+	}
+}

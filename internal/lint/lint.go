@@ -11,11 +11,15 @@
 // Diagnostics may be suppressed site-by-site with a trailing or preceding
 // comment of the form
 //
-//	//grblint:ignore <check>[,<check>...] [reason]
+//	//grblint:ignore <check>[,<check>...]: <reason>
 //
-// The reason is free text; writing one is strongly encouraged, since an
-// ignore is a claim ("this map iteration never reaches an output path")
-// that the next reader must be able to audit.
+// The reason is mandatory: an ignore is a claim ("this map iteration
+// never reaches an output path") that the next reader must be able to
+// audit, so a directive without one is itself reported as a diagnostic
+// (check name "ignore-justification", not suppressible). The colon after
+// the check list is accepted but optional — legacy space-separated
+// reasons keep working. `grblint -list-ignores` inventories every
+// directive with its reason.
 package lint
 
 import (
@@ -80,6 +84,10 @@ func Checks() []*Check {
 		kernelPurityCheck(),
 		errorDisciplineCheck(),
 		formatInvariantsCheck(),
+		lockDisciplineCheck(),
+		goroutineLifecycleCheck(),
+		contextPlumbingCheck(),
+		allocBoundsCheck(),
 	}
 }
 
@@ -94,13 +102,17 @@ func CheckNames() []string {
 
 // RunChecks runs the selected checks (nil or empty selection = all) over a
 // package and returns the surviving diagnostics, ignore comments applied,
-// sorted by position.
+// sorted by position. Ignore directives without a justification are
+// themselves reported (check "ignore-justification") regardless of the
+// selection: a bare ignore is an unauditable claim, not a finding that a
+// check could be asked to skip.
 func RunChecks(p *Package, selection []string) []Diagnostic {
 	selected := map[string]bool{}
 	for _, s := range selection {
 		selected[s] = true
 	}
-	ignores := collectIgnores(p)
+	directives := Ignores(p)
+	ignores := indexIgnores(directives)
 	var out []Diagnostic
 	for _, c := range Checks() {
 		if len(selected) > 0 && !selected[c.Name] {
@@ -118,6 +130,16 @@ func RunChecks(p *Package, selection []string) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	for _, dir := range directives {
+		if dir.Reason == "" {
+			out = append(out, Diagnostic{
+				Check: "ignore-justification",
+				File:  dir.File, Line: dir.Line, Col: dir.Col,
+				Message: fmt.Sprintf("ignore directive for %s has no justification; write //grblint:ignore %s: <reason>",
+					strings.Join(dir.Checks, ","), strings.Join(dir.Checks, ",")),
+			})
+		}
+	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].File != out[b].File {
 			return out[a].File < out[b].File
@@ -133,9 +155,46 @@ func RunChecks(p *Package, selection []string) []Diagnostic {
 	return out
 }
 
-// ignoreRe matches the directive comment. The check list is a comma- or
-// space-free comma list; everything after it is a human reason.
-var ignoreRe = regexp.MustCompile(`grblint:ignore\s+([a-z][a-z0-9-]*(?:,[a-z][a-z0-9-]*)*)`)
+// ignoreRe matches the directive comment: the comma-joined check list,
+// an optional colon, then the free-text justification. Anchored to the
+// start of the comment so prose that merely *mentions* the grammar
+// (e.g. this package's own doc comments) neither suppresses anything
+// nor pollutes the -list-ignores inventory.
+var ignoreRe = regexp.MustCompile(`^//grblint:ignore\s+([a-z][a-z0-9-]*(?:,[a-z][a-z0-9-]*)*):?\s*(.*)`)
+
+// IgnoreDirective is one //grblint:ignore comment, positioned for
+// inventory listings (`grblint -list-ignores`) and justification
+// enforcement.
+type IgnoreDirective struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Col    int      `json:"col"`
+	Checks []string `json:"checks"`
+	Reason string   `json:"reason"`
+}
+
+// Ignores scans every comment of the package for ignore directives, in
+// position order.
+func Ignores(p *Package) []IgnoreDirective {
+	var out []IgnoreDirective
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				out = append(out, IgnoreDirective{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Checks: strings.Split(m[1], ","),
+					Reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
 
 // ignoreIndex records, per file and line, which checks are suppressed.
 type ignoreIndex map[string]map[int]map[string]bool
@@ -149,10 +208,10 @@ func (ix ignoreIndex) suppressed(d Diagnostic) bool {
 	return set != nil && (set[d.Check] || set["all"])
 }
 
-// collectIgnores scans every comment for ignore directives. A directive
-// applies to its own line (trailing comment) and to the following line
-// (standalone comment above the flagged statement).
-func collectIgnores(p *Package) ignoreIndex {
+// indexIgnores builds the suppression index. A directive applies to its
+// own line (trailing comment) and to the following line (standalone
+// comment above the flagged statement).
+func indexIgnores(directives []IgnoreDirective) ignoreIndex {
 	ix := ignoreIndex{}
 	add := func(file string, line int, check string) {
 		if ix[file] == nil {
@@ -163,19 +222,10 @@ func collectIgnores(p *Package) ignoreIndex {
 		}
 		ix[file][line][check] = true
 	}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				for _, name := range strings.Split(m[1], ",") {
-					add(pos.Filename, pos.Line, name)
-					add(pos.Filename, pos.Line+1, name)
-				}
-			}
+	for _, dir := range directives {
+		for _, name := range dir.Checks {
+			add(dir.File, dir.Line, name)
+			add(dir.File, dir.Line+1, name)
 		}
 	}
 	return ix

@@ -6,8 +6,29 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
+
+// The loader is shared across every test in this package: NewLoader
+// re-type-checks the standard library and the module from source, which
+// dominates the test binary's runtime, while Loader.cache makes repeat
+// LoadDir calls free. One loader instead of one per test cuts the
+// package's test time roughly in half.
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loaderVal, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return loaderVal
+}
 
 // wantRe marks an expected diagnostic in a fixture: `// WANT <check>` on
 // the line the diagnostic must be reported at.
@@ -45,11 +66,11 @@ func fixtureWants(t *testing.T, dir string) map[string]bool {
 // pass, and the //grblint:ignore suppression path (fixture sites that
 // carry a directive have no WANT marker and must stay silent).
 func TestFixtures(t *testing.T) {
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
+	loader := sharedLoader(t)
+	fixtures := []string{
+		"determinism", "pending", "atomicfields", "purity", "errdiscipline", "format",
+		"lockdiscipline", "lockorder", "goroutine", "ctxplumb", "allocbounds",
 	}
-	fixtures := []string{"determinism", "pending", "atomicfields", "purity", "errdiscipline", "format"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", name)
@@ -82,10 +103,7 @@ func TestFixtures(t *testing.T) {
 // TestCheckSelection verifies the -checks subset mechanism: selecting a
 // single check must drop every other check's findings.
 func TestCheckSelection(t *testing.T) {
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
+	loader := sharedLoader(t)
 	pkg, err := loader.LoadDir(filepath.Join("testdata", "purity"))
 	if err != nil {
 		t.Fatal(err)
@@ -116,8 +134,66 @@ func TestCheckMetadata(t *testing.T) {
 			t.Errorf("check %q missing doc or run function", c.Name)
 		}
 	}
-	if len(seen) < 5 {
-		t.Fatalf("suite has %d checks, want at least 5", len(seen))
+	if len(seen) < 10 {
+		t.Fatalf("suite has %d checks, want at least 10", len(seen))
+	}
+}
+
+// TestIgnoreJustification pins the bare-directive contract: a legacy
+// //grblint:ignore with no reason still suppresses its finding (so
+// adopting the rule cannot break a build mid-migration) but is itself
+// reported as ignore-justification — and that report survives -checks
+// selection, since it is not a check a caller can deselect.
+func TestIgnoreJustification(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "bareignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, selection := range [][]string{nil, {"determinism"}} {
+		diags := RunChecks(pkg, selection)
+		if len(diags) != 1 {
+			t.Fatalf("selection %v: want exactly the justification diagnostic, got %v", selection, diags)
+		}
+		if diags[0].Check != "ignore-justification" {
+			t.Fatalf("selection %v: want ignore-justification, got %s", selection, diags[0].Check)
+		}
+		if !strings.Contains(diags[0].Message, "goroutine-lifecycle") {
+			t.Errorf("diagnostic should name the suppressed check: %s", diags[0].Message)
+		}
+	}
+}
+
+// TestIgnoresInventory covers the -list-ignores data source: every
+// directive comes back with its position, check list, and reason.
+func TestIgnoresInventory(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "goroutine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := Ignores(pkg)
+	if len(dirs) != 1 {
+		t.Fatalf("want 1 directive in goroutine fixture, got %v", dirs)
+	}
+	d := dirs[0]
+	if len(d.Checks) != 1 || d.Checks[0] != "goroutine-lifecycle" {
+		t.Errorf("checks = %v, want [goroutine-lifecycle]", d.Checks)
+	}
+	if d.Reason == "" || !strings.Contains(d.Reason, "Shutdown") {
+		t.Errorf("reason = %q, want the justification text", d.Reason)
+	}
+	if d.Line == 0 || filepath.Base(d.File) != "fixture.go" {
+		t.Errorf("directive position not captured: %+v", d)
+	}
+
+	bare, err := loader.LoadDir(filepath.Join("testdata", "bareignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := Ignores(bare)
+	if len(bd) != 1 || bd[0].Reason != "" {
+		t.Fatalf("bareignore: want 1 directive with empty reason, got %v", bd)
 	}
 }
 
@@ -128,10 +204,7 @@ func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
+	loader := sharedLoader(t)
 	dirs, err := loader.Expand([]string{filepath.Join(loader.ModuleRoot, "...")})
 	if err != nil {
 		t.Fatal(err)

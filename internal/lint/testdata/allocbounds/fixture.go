@@ -1,0 +1,93 @@
+// Package mmio exercises the alloc-bounds check: decoders must validate
+// wire-supplied sizes before allocating from them.
+package mmio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+)
+
+// header mirrors a wire header whose counts are untrusted.
+type header struct {
+	NRows, NNZ uint64
+}
+
+// maxPrealloc caps speculative allocation from wire-supplied counts.
+const maxPrealloc = 1 << 20
+
+// ReadTrusting allocates straight off the wire count.
+func ReadTrusting(r io.Reader) ([]int64, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	vals := make([]int64, h.NNZ) // WANT alloc-bounds
+	if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// ReadCapped validates the count before allocating: clean.
+func ReadCapped(r io.Reader) ([]int64, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	if h.NNZ > maxPrealloc {
+		return nil, io.ErrUnexpectedEOF
+	}
+	vals := make([]int64, h.NNZ)
+	if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// ReadOffsets sizes the offset array from a validated row count; the +1
+// over a checked leaf is still bounded: clean.
+func ReadOffsets(r io.Reader) ([]uint64, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	if h.NRows == 0 || h.NRows > maxPrealloc {
+		return nil, io.ErrUnexpectedEOF
+	}
+	off := make([]uint64, h.NRows+1)
+	return off, nil
+}
+
+// readFrame grows by the declared length after bounds-checking it; the
+// int() conversion is looked through: clean.
+func readFrame(n int64) *bytes.Buffer {
+	var buf bytes.Buffer
+	if n < 0 || n > maxPrealloc {
+		return &buf
+	}
+	buf.Grow(int(n))
+	return &buf
+}
+
+// readFrameBad trusts the declared length outright.
+func readFrameBad(n int64) *bytes.Buffer {
+	var buf bytes.Buffer
+	buf.Grow(int(n)) // WANT alloc-bounds
+	return &buf
+}
+
+// decodeInto sizes from material already in memory (len) and from
+// constants: both inherently bounded, clean.
+func decodeInto(src []byte) []byte {
+	scratch := make([]byte, 8)
+	_ = scratch
+	dst := make([]byte, len(src))
+	copy(dst, src)
+	return dst
+}
+
+// ReadAll preallocates the declared size without a local check.
+func ReadAll(declared int) []byte {
+	return make([]byte, declared) //grblint:ignore alloc-bounds: transport layer caps the frame size before this is reached
+}

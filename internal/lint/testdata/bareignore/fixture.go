@@ -1,0 +1,14 @@
+// Package bareignore holds a legacy suppression with no justification:
+// the suppression still works (compatibility), but the bare directive is
+// itself reported as ignore-justification.
+package bareignore
+
+// Spin runs forever; the directive below silences the lifecycle finding
+// without saying why.
+func Spin() {
+	//grblint:ignore goroutine-lifecycle
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,10 @@
+// Package catalog is a type-checking stub for the lock-ordering fixture;
+// the ordering rule keys off the "/catalog" import-path suffix, so this
+// testdata package triggers it exactly like the real one.
+package catalog
+
+// Names lists registered graph names.
+func Names() []string { return nil }
+
+// Get looks up a graph by name.
+func Get(name string) (any, bool) { return nil, false }

@@ -1,0 +1,96 @@
+// Package goroutine exercises the goroutine-lifecycle check: every go
+// statement needs a provable termination path or a justified ignore.
+package goroutine
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Leak spawns a ticker loop with no way to stop it.
+func Leak() {
+	go func() { // WANT goroutine-lifecycle
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// WatchCtx stops when the context is canceled: clean.
+func WatchCtx(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Workers drain a channel the caller closes, and the spawner waits for
+// them: clean twice over.
+func Workers(jobs <-chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Unwaited defers Done on a WaitGroup the spawner never waits on.
+func Unwaited(stop func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // WANT goroutine-lifecycle
+		defer wg.Done()
+		stop()
+		select {}
+	}()
+}
+
+// process handles jobs until its context ends.
+func process(ctx context.Context, jobs <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-jobs:
+		}
+	}
+}
+
+// Spawn delegates termination to the ctx-carrying callee: clean.
+func Spawn(ctx context.Context, jobs chan int) {
+	go process(ctx, jobs)
+}
+
+// drain empties a channel until it is closed.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Orphan spawns a named worker with no context to hand down.
+func Orphan(ch chan int) {
+	go drain(ch) // WANT goroutine-lifecycle
+}
+
+// Serve blocks in an accept loop; the termination argument (Shutdown
+// closes the listener) is real but outside the analyzer's rules.
+func Serve(accept func() error) {
+	//grblint:ignore goroutine-lifecycle: exits when the listener is closed by Shutdown
+	go func() {
+		for accept() == nil {
+		}
+	}()
+}

@@ -1,0 +1,105 @@
+// Package lockdiscipline exercises the lock-discipline check: guardedby
+// annotations, the positional lock heuristic, locked/holdslock
+// directives, the fresh-object exemption, and suppression.
+package lockdiscipline
+
+import "sync"
+
+// Entry mirrors the catalog entry protocol: mu guards the cached state.
+type Entry struct {
+	mu   sync.RWMutex
+	warm bool //grblint:guardedby mu
+	gen  int64
+}
+
+// Broken annotates against a sibling that is not a mutex.
+type Broken struct {
+	state int //grblint:guardedby lock   // WANT lock-discipline
+}
+
+// Peek reads warm with no lock at all.
+func (e *Entry) Peek() bool {
+	return e.warm // WANT lock-discipline
+}
+
+// Mark writes warm under the read lock only; writes need the exclusive
+// lock.
+func (e *Entry) Mark() {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.warm = true // WANT lock-discipline
+}
+
+// Warm reads warm under the read lock: clean.
+func (e *Entry) Warm() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.warm
+}
+
+// SetWarm writes warm under the exclusive lock: clean.
+func (e *Entry) SetWarm(v bool) {
+	e.mu.Lock()
+	e.warm = v
+	e.mu.Unlock()
+}
+
+// Stale reads warm after the lock was already released.
+func (e *Entry) Stale() bool {
+	e.mu.Lock()
+	e.gen++
+	e.mu.Unlock()
+	return e.warm // WANT lock-discipline
+}
+
+// markLocked flips warm; every caller holds e.mu.
+//
+//grblint:locked mu
+func (e *Entry) markLocked() { e.warm = true }
+
+// Update runs fn with e.mu held exclusively.
+//
+//grblint:holdslock mu
+func (e *Entry) Update(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
+}
+
+// View runs fn with e.mu held for reading.
+//
+//grblint:holdslock mu read
+func (e *Entry) View(fn func()) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	fn()
+}
+
+// Refresh mutates warm through the exclusive callback: clean.
+func (e *Entry) Refresh() {
+	e.mu.Lock()
+	e.markLocked()
+	e.mu.Unlock()
+	e.Update(func() { e.warm = true })
+}
+
+// Sample reads through the view callback, but also writes there: the
+// read grade does not license mutation.
+func (e *Entry) Sample() (warm bool) {
+	e.View(func() { warm = e.warm })
+	e.View(func() { e.warm = false }) // WANT lock-discipline
+	return warm
+}
+
+// NewEntry writes warm on a freshly constructed object nothing else can
+// see yet: clean.
+func NewEntry() *Entry {
+	e := &Entry{}
+	e.warm = true
+	return e
+}
+
+// Snapshot reads warm off-lock for a metrics gauge.
+func (e *Entry) Snapshot() bool {
+	return e.warm //grblint:ignore lock-discipline: approximate metrics read, staleness is acceptable
+}

@@ -1,0 +1,52 @@
+// Package store exercises the catalog→store lock-ordering rule: no call
+// into the catalog package may happen while a store-layer mutex is held.
+package store
+
+import (
+	"sync"
+
+	"lagraph/internal/lint/testdata/catalog"
+)
+
+// Persister mirrors the store-side snapshot bookkeeping.
+type Persister struct {
+	mu    sync.Mutex
+	saved map[string]bool //grblint:guardedby mu
+}
+
+// DirtyBad consults the catalog while holding p.mu: one blocked writer
+// away from the PR-5-review deadlock shape.
+func (p *Persister) DirtyBad() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, name := range catalog.Names() { // WANT lock-discipline
+		if !p.saved[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// DirtyGood snapshots the saved set under the lock, releases it, and
+// only then asks the catalog: clean.
+func (p *Persister) DirtyGood() []string {
+	p.mu.Lock()
+	saved := make(map[string]bool, len(p.saved))
+	for k, v := range p.saved {
+		saved[k] = v
+	}
+	p.mu.Unlock()
+	var out []string
+	for _, name := range catalog.Names() {
+		if !saved[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Lookup passes through with no lock held at all: clean.
+func Lookup(name string) (any, bool) {
+	return catalog.Get(name)
+}

@@ -16,12 +16,12 @@ var _ = net.JoinHostPort
 
 // storedCtx smuggles ambient state into kernel objects.
 type storedCtx struct {
-	ctx context.Context // WANT kernel-purity
+	ctx context.Context // WANT kernel-purity // WANT context-plumbing
 	n   int
 }
 
 // pkgCtx outlives every call that could have scoped it.
-var pkgCtx = context.Background() // WANT kernel-purity
+var pkgCtx = context.Background() // WANT kernel-purity // WANT context-plumbing
 
 // chunkedKernel shows the sanctioned seam: ctx arrives as a parameter and
 // is only ever checked, never retained.

@@ -157,13 +157,13 @@ func (m *Multi) Iter(r IterRecord) {
 // kernels' parallel inner loops, so contention is per-op, not per-entry.
 type Trace struct {
 	mu           sync.Mutex
-	ops          []OpRecord
-	iters        []IterRecord
-	opNext       int // ring write position once len(ops) == cap
-	iterNext     int
-	droppedOps   int64
-	droppedIters int64
-	capacity     int
+	ops          []OpRecord   //grblint:guardedby mu
+	iters        []IterRecord //grblint:guardedby mu
+	opNext       int          //grblint:guardedby mu // ring write position once len(ops) == cap
+	iterNext     int          //grblint:guardedby mu
+	droppedOps   int64        //grblint:guardedby mu
+	droppedIters int64        //grblint:guardedby mu
+	capacity     int          // immutable after NewTrace
 }
 
 // DefaultTraceCapacity bounds a Trace built with NewTrace(0).

@@ -22,12 +22,12 @@ type Persister struct {
 	cat *catalog.Catalog
 
 	mu    sync.Mutex
-	saved map[string]uint64 // name → generation last durably written
+	saved map[string]uint64 //grblint:guardedby mu // name → generation last durably written
 	// removed counts Remove calls per name: a tombstone epoch. SnapshotOne
 	// pins the count before serializing and vetoes its store commit when a
 	// Remove interleaved, so a slow snapshot can never resurrect a graph
 	// dropped while it serialized.
-	removed map[string]uint64
+	removed map[string]uint64 //grblint:guardedby mu
 
 	// afterSerialize, when non-nil, runs between serialization and the
 	// store save. Test seam for the drop-vs-snapshot race.
@@ -85,16 +85,25 @@ func (p *Persister) LoadAll() ([]RecoveryEvent, error) {
 
 // Dirty returns the names whose in-memory generation differs from the
 // last durably saved one (including graphs never saved at all), sorted.
+// The saved map is copied under p.mu and the catalog consulted with no
+// lock held: the repo-wide lock order is catalog→store, and holding a
+// store-side mutex across a catalog call is the deadlock shape grblint's
+// lock-discipline check forbids. The copy is a consistent-enough basis —
+// a graph saved or removed mid-scan is re-classified on the next sweep.
 func (p *Persister) Dirty() []string {
-	var dirty []string
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	saved := make(map[string]uint64, len(p.saved))
+	for name, gen := range p.saved {
+		saved[name] = gen
+	}
+	p.mu.Unlock()
+	var dirty []string
 	for _, name := range p.cat.Names() {
 		e, err := p.cat.Get(name)
 		if err != nil {
 			continue // dropped concurrently
 		}
-		if gen, ok := p.saved[name]; !ok || gen != e.Generation() {
+		if gen, ok := saved[name]; !ok || gen != e.Generation() {
 			dirty = append(dirty, name)
 		}
 	}

@@ -57,9 +57,9 @@ type Store struct {
 	// by the previous life's manifest. Immutable after Open.
 	epoch uint64
 
-	mu       sync.Mutex // guards manifest (map + file) and file shuffling
-	manifest map[string]manifestEntry
-	manSeq   uint64 // manifest write sequence, stored as its Generation
+	mu       sync.Mutex               // guards manifest (map + file) and file shuffling
+	manifest map[string]manifestEntry //grblint:guardedby mu
+	manSeq   uint64                   //grblint:guardedby mu // manifest write sequence, stored as its Generation
 
 	snapshots      atomic.Int64
 	snapshotBytes  atomic.Int64
@@ -387,6 +387,8 @@ func (s *Store) quarantine(path string) {
 
 // writeManifestLocked rewrites the manifest frame via temp-fsync-rename.
 // Callers hold s.mu.
+//
+//grblint:locked mu
 func (s *Store) writeManifestLocked() error {
 	s.manSeq++
 	payload, err := json.Marshal(manifestDoc{Epoch: s.epoch, Graphs: s.manifest})

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"lagraph/internal/catalog"
 	"lagraph/internal/gen"
 	"lagraph/internal/lagraph"
+	"lagraph/internal/leakcheck"
 )
 
 // testGraph builds a deterministic undirected power-law graph.
@@ -239,6 +241,7 @@ func TestSaveGenerationGuard(t *testing.T) {
 // dirty → flush → clean → mutate → dirty again → flush → recover into a
 // fresh catalog.
 func TestPersisterLifecycle(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
@@ -533,6 +536,7 @@ func TestSaveEpochsCrossRestart(t *testing.T) {
 // otherwise the dropped graph's snapshot re-enters the manifest and the
 // graph resurrects on the next boot.
 func TestDropDuringSnapshotDoesNotResurrect(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	st := Must(Open(dir))
 	cat := catalog.New()
@@ -618,6 +622,76 @@ func TestLoadAllKeepsFileOnNonCorruptError(t *testing.T) {
 	if err != nil || len(events) != 1 || events[0].Err != nil {
 		t.Fatalf("retry recovery: %+v, %v", events, err)
 	}
+}
+
+// TestDirtyUnlocksBeforeCatalogScan is the regression test for the
+// Dirty() restructure: the saved-generation map is copied under p.mu and
+// the catalog consulted with no persister lock held (the repo-wide lock
+// order is catalog→store; grblint's lock-discipline check forbids the
+// inverse). It pins classification across the save/update/remove
+// transitions and then hammers Dirty/FlushDirty against a concurrent
+// catalog writer — under -race, the shape that used to hold p.mu across
+// catalog calls.
+func TestDirtyUnlocksBeforeCatalogScan(t *testing.T) {
+	leakcheck.Check(t)
+	st := Must(Open(t.TempDir()))
+	cat := catalog.New()
+	p := NewPersister(st, cat)
+
+	if _, err := cat.Add("a", testGraph(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Add("b", testGraph(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(p.Dirty(), ","); got != "a,b" {
+		t.Fatalf("fresh graphs should be dirty: %q", got)
+	}
+	if _, err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Dirty(); len(got) != 0 {
+		t.Fatalf("flushed graphs still dirty: %v", got)
+	}
+	e := Must(cat.Get("a"))
+	if err := e.Update(func(g *lagraph.Graph) error {
+		return g.A.SetElement(0, 1, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(p.Dirty(), ","); got != "a" {
+		t.Fatalf("after update, dirty = %q, want \"a\"", got)
+	}
+
+	// Concurrent add/drop churn while the persister classifies and
+	// flushes: correctness here is "no deadlock, no race, no error" — a
+	// graph dropped mid-scan is re-classified on the next sweep.
+	churn := testGraph(t, 3)
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("tmp%d", i%4)
+			if _, err := cat.Add(name, churn); err == nil {
+				_ = cat.Drop(name)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_ = p.Dirty()
+		if _, err := p.FlushDirty(); err != nil {
+			t.Errorf("flush during churn: %v", err)
+			break
+		}
+	}
+	close(stop)
+	<-churnDone
 }
 
 // Must unwraps an (value, error) pair in test plumbing.

@@ -10,15 +10,20 @@ import (
 	"testing"
 
 	"lagraph/internal/catalog"
+	"lagraph/internal/leakcheck"
 	"lagraph/internal/obs"
 	"lagraph/internal/store"
 )
 
 // newPersistentServer boots a server whose catalog is backed by the
 // durable store in dir, replaying any snapshots already there — the
-// same sequence cmd/lagraphd runs at startup.
+// same sequence cmd/lagraphd runs at startup. Like newTestServer it
+// arms leakcheck, so each boot/teardown cycle proves the server's
+// goroutines actually exit.
 func newPersistentServer(t *testing.T, dir string) (*Server, *httptest.Server, []store.RecoveryEvent) {
 	t.Helper()
+	leakcheck.Check(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	st, err := store.Open(dir)
 	if err != nil {
 		t.Fatal(err)

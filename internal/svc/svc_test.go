@@ -13,12 +13,19 @@ import (
 	"time"
 
 	"lagraph/internal/catalog"
+	"lagraph/internal/leakcheck"
 	"lagraph/internal/obs"
 )
 
-// newTestServer starts an httptest server over a fresh catalog.
+// newTestServer starts an httptest server over a fresh catalog. Every
+// server test doubles as a goroutine-leak test: the leakcheck baseline
+// is taken before the server starts, and the post helper's keep-alive
+// connections (http.DefaultClient) are dropped before the leak gate runs
+// at cleanup.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	leakcheck.Check(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	s := New(catalog.New(), &obs.Counters{}, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
