@@ -160,7 +160,7 @@ func BenchmarkAlgo_DNNLayer(b *testing.B) {
 func BenchmarkAlgo_HITS(b *testing.B) {
 	g, _, _ := benchGraphs()
 	for i := 0; i < b.N; i++ {
-		if _, err := lagraph.HITS(g, 1e-6, 50); err != nil {
+		if _, err := lagraph.HITSWith(g, lagraph.WithTolerance(1e-6), lagraph.WithMaxIter(50)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,7 +27,7 @@ import (
 var (
 	scale    = flag.Int("scale", 13, "RMAT scale (2^scale vertices)")
 	ef       = flag.Int("ef", 16, "RMAT edge factor")
-	table    = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,perf,all")
+	table    = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,ingest,perf,all")
 	jsonOut  = flag.String("json", "", "write the perf table as machine-readable JSON to this file (e.g. BENCH_1.json)")
 	baseFile = flag.String("baseline", "", "previous BENCH_<pr>.json; annotate matching entries with speedup vs that baseline")
 	smoke    = flag.String("smoke", "", "smoke-baseline JSON; fail if any p=1 kernel regresses >25% after median-ratio host normalization")
@@ -55,6 +55,7 @@ func main() {
 	run("c7", c7)
 	run("c8", c8)
 	run("census", census)
+	run("ingest", ingestTable)
 	// perf is opt-in (it re-times every skewed kernel at two parallelism
 	// levels): run it when asked for by name, when a JSON sink is given,
 	// or when a smoke comparison is requested.
@@ -91,6 +92,10 @@ type perfReport struct {
 	Scale      int         `json:"scale"`
 	EdgeFactor int         `json:"edge_factor"`
 	Results    []perfEntry `json:"results"`
+	// Ingest is the streaming-ingest comparison (§II-A): per-batch
+	// admission latency vs whole-graph rebuild, across graph sizes.
+	// Added in lagraph-perf/3 alongside POST /v1/graphs/{name}/edges.
+	Ingest []ingestEntry `json:"ingest,omitempty"`
 	// Audits records the auto-vs-best-static comparisons: an adaptive
 	// entry point must never be more than a small factor slower than the
 	// best static choice it is selecting among (see EXPERIMENTS.md).
@@ -274,7 +279,7 @@ func perf() {
 		pmax = 4
 	}
 	report := perfReport{
-		Schema:     "lagraph-perf/2",
+		Schema:     "lagraph-perf/3",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
@@ -361,6 +366,13 @@ func perf() {
 		}
 	}
 	if *jsonOut != "" {
+		// The committed BENCH_<pr>.json also carries the streaming-ingest
+		// rows; run the table now if -table didn't already.
+		if ingestRows == nil {
+			fmt.Println()
+			ingestTable()
+		}
+		report.Ingest = ingestRows
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perf json:", err)
@@ -379,6 +391,64 @@ func perf() {
 			os.Exit(1)
 		}
 		fmt.Println("bench-smoke: ok")
+	}
+}
+
+// ingestEntry is one row of the streaming-ingest comparison (§II-A): the
+// latency of admitting one 64-tuple edge batch through the pending-tuple
+// path, against rebuilding the whole graph from its edge list — which
+// was the only mutation story the service had before
+// POST /v1/graphs/{name}/edges.
+type ingestEntry struct {
+	Scale        int   `json:"scale"`
+	Edges        int   `json:"edges"`
+	BatchTuples  int   `json:"batch_tuples"`
+	BatchNsPerOp int64 `json:"batch_ns_per_op"`
+	BuildNsPerOp int64 `json:"build_ns_per_op"`
+}
+
+// ingestRows holds the table's measurements so the -json sink can embed
+// them in the committed BENCH_<pr>.json without re-timing.
+var ingestRows []ingestEntry
+
+// ingestTable demonstrates the non-blocking mode's §II-A promise for the
+// write path: admitting an edge batch buffers pending tuples in O(batch)
+// regardless of how large the target graph is, while the old way to
+// mutate a served graph — POST the whole edge list again — is linear in
+// the graph. The batch column must stay flat as the scale column grows;
+// the build column must not.
+func ingestTable() {
+	fmt.Println("── ingest: per-batch edge admission vs whole-graph rebuild (§II-A, non-blocking mode) ──")
+	const batch = 64
+	dup := grb.Second[float64, float64]()
+	fmt.Printf("%7s %12s %16s %18s %9s\n", "scale", "edges", "64-tuple batch", "whole-graph build", "ratio")
+	for _, s := range []int{*scale - 6, *scale - 3, *scale} {
+		n := 1 << s
+		el := gen.PowerLaw(n, *ef*n, 1.6, gen.Config{Seed: 41, NoSelfLoops: true})
+		a := el.Matrix()
+		a.Wait()
+		is := make([]int, batch)
+		js := make([]int, batch)
+		xs := make([]float64, batch)
+		for k := range is {
+			is[k] = (k * 131) % n
+			js[k] = (k*17 + 1) % n
+			xs[k] = float64(k%7 + 1)
+		}
+		// The admission path: buffer the batch as pending tuples, no Wait —
+		// assembly is deferred to the next read, exactly as Entry.Ingest
+		// publishes a COLD entry.
+		dBatch := timeIt(25, func() { _ = a.SetElements(is, js, xs, dup) })
+		dBuild := timeIt(3, func() {
+			b := grb.MustMatrix[float64](n, n)
+			_ = b.Build(el.Src, el.Dst, el.W, dup)
+		})
+		ingestRows = append(ingestRows, ingestEntry{
+			Scale: s, Edges: len(el.Src), BatchTuples: batch,
+			BatchNsPerOp: dBatch.Nanoseconds(), BuildNsPerOp: dBuild.Nanoseconds(),
+		})
+		fmt.Printf("%7d %12d %16v %18v %8.0fx\n", s, len(el.Src), dBatch, dBuild,
+			float64(dBuild)/float64(dBatch))
 	}
 }
 
@@ -885,13 +955,15 @@ func c8() {
 		func() { _, _ = lagraph.BFSLevels(gu, 0) },
 		func() { baseline.BFSLevels(bu, 0) })
 	row("sssp",
-		func() { _, _ = lagraph.SSSPDeltaStepping(gw, 0, 4) },
+		func() { _, _ = lagraph.SSSP(gw, 0, lagraph.WithDelta(4)) },
 		func() { baseline.Dijkstra(bw, 0) })
 	row("cc",
 		func() { _, _ = lagraph.ConnectedComponentsFastSV(gu) },
 		func() { baseline.ConnectedComponents(bu) })
 	row("pagerank(20it)",
-		func() { _, _ = lagraph.PageRank(gd, 0.85, 1e-30, 20) },
+		func() {
+			_, _ = lagraph.PageRankWith(gd, lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-30), lagraph.WithMaxIter(20))
+		},
 		func() { baseline.PageRank(bd, 0.85, 20) })
 	row("triangles",
 		func() { _, _ = lagraph.TriangleCount(gu, lagraph.TCSandiaDot) },
@@ -920,7 +992,7 @@ func census() {
 			return fmt.Sprintf("tree size %d", p.Nvals()), err
 		}},
 		{"SSSP delta-stepping", func() (string, error) {
-			d, err := lagraph.SSSPDeltaStepping(small, 0, 2)
+			d, err := lagraph.SSSP(small, 0, lagraph.WithDelta(2))
 			return fmt.Sprintf("reached %d", d.Nvals()), err
 		}},
 		{"SSSP Bellman-Ford", func() (string, error) {
@@ -960,7 +1032,7 @@ func census() {
 			return fmt.Sprintf("%d components", lagraph.CountComponents(l)), nil
 		}},
 		{"PageRank", func() (string, error) {
-			r, err := lagraph.PageRank(gd, 0.85, 1e-8, 100)
+			r, err := lagraph.PageRankWith(gd, lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-8), lagraph.WithMaxIter(100))
 			if err != nil {
 				return "", err
 			}
@@ -1062,7 +1134,7 @@ func census() {
 			return fmt.Sprintf("rmse %.2f→%.2f", m.RMSE[0], m.RMSE[len(m.RMSE)-1]), nil
 		}},
 		{"HITS (extension)", func() (string, error) {
-			r, err := lagraph.HITS(gd, 1e-8, 100)
+			r, err := lagraph.HITSWith(gd, lagraph.WithTolerance(1e-8), lagraph.WithMaxIter(100))
 			if err != nil {
 				return "", err
 			}

@@ -9,20 +9,26 @@
 //
 // With -data the daemon is durable: graphs are periodically snapshotted
 // to checksummed frame files (see internal/store), reloaded on boot, and
-// flushed on graceful shutdown. A kill -9 at any moment loses at most
-// the mutations since the last snapshot — never a previously good copy.
+// flushed on graceful shutdown. Edge-batch mutations (POST .../edges) are
+// additionally journaled to a hash-chained write-ahead log under
+// <data>/wal before they are acknowledged, so boot recovery is snapshot +
+// WAL-suffix replay and a kill -9 at any moment loses nothing that was
+// acknowledged — the fsync of the journal record is the durability point
+// (disable with -wal-sync=false to trade that for throughput).
 //
-// Endpoints:
+// Endpoints (canonical spellings under /v1; the legacy unversioned paths
+// still answer, with a Deprecation header):
 //
-//	POST   /graphs                  load/generate a named graph
-//	GET    /graphs                  list registered graphs
-//	GET    /graphs/{name}           cached properties of one graph
-//	DELETE /graphs/{name}           drop a graph (and its durable snapshot)
-//	POST   /graphs/{name}/query     run an algorithm (bfs, sssp, pagerank, ...)
-//	POST   /graphs/{name}/snapshot  persist one graph now (requires -data)
-//	POST   /admin/flush             persist every dirty graph (requires -data)
-//	GET    /healthz                 liveness
-//	GET    /metrics                 Prometheus text format
+//	POST   /v1/graphs                  load/generate a named graph
+//	GET    /v1/graphs                  list registered graphs (limit/cursor pagination)
+//	GET    /v1/graphs/{name}           cached properties of one graph
+//	DELETE /v1/graphs/{name}           drop a graph (and its durable snapshot)
+//	POST   /v1/graphs/{name}/query     run an algorithm (bfs, sssp, pagerank, ...)
+//	POST   /v1/graphs/{name}/edges     ingest an edge-mutation batch (journaled)
+//	POST   /v1/graphs/{name}/snapshot  persist one graph now (requires -data)
+//	POST   /v1/admin/flush             persist every dirty graph (requires -data)
+//	GET    /healthz                    liveness
+//	GET    /metrics                    Prometheus text format
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -41,6 +48,7 @@ import (
 	"lagraph/internal/obs"
 	"lagraph/internal/store"
 	"lagraph/internal/svc"
+	"lagraph/internal/wal"
 )
 
 func main() {
@@ -52,6 +60,8 @@ func main() {
 	allowPath := flag.Bool("allow-path-load", false, "permit POST /graphs to read files from this host's filesystem")
 	dataDir := flag.String("data", "", "directory for durable graph snapshots (empty = volatile)")
 	snapEvery := flag.Duration("snapshot-interval", 30*time.Second, "how often to snapshot dirty graphs (0 disables the background snapshotter; requires -data)")
+	walSync := flag.Bool("wal-sync", true, "fsync the edge journal on every accepted batch (requires -data; false trades durability for throughput)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "journal segment rotation size in bytes (0 = 64 MiB; requires -data)")
 	flag.Parse()
 
 	// Kernel-level op records from every query flow into one process-wide
@@ -68,7 +78,25 @@ func main() {
 			os.Exit(1)
 		}
 		pers = store.NewPersister(st, cat)
-		// Boot-time recovery: replay every live snapshot. Corrupt files are
+		// The edge journal lives beside the snapshots. Opening it first
+		// also runs its own recovery (chain verification, torn-tail
+		// truncation), so LoadAll below can replay the suffix.
+		jl, err := wal.Open(filepath.Join(*dataDir, "wal"), wal.Options{
+			SegmentBytes: *walSegBytes,
+			NoSync:       !*walSync,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lagraphd:", err)
+			os.Exit(1)
+		}
+		defer jl.Close()
+		pers.AttachWAL(jl)
+		if rec := jl.Recovery(); rec.TornBytes > 0 {
+			log.Printf("lagraphd: wal: dropped %d bytes of torn tail from %s (crash mid-append; tolerated)",
+				rec.TornBytes, rec.TornFile)
+		}
+		// Boot-time recovery: replay every live snapshot, then the journal
+		// records beyond each snapshot's pinned offset. Corrupt files are
 		// quarantined to *.corrupt and logged — a damaged snapshot must
 		// never keep the daemon from serving the healthy ones.
 		events, err := pers.LoadAll()
@@ -88,7 +116,12 @@ func main() {
 			log.Printf("lagraphd: recovered %q (gen %d, %d vertices, %d edges) from %s",
 				ev.Name, ev.Meta.Generation, ev.Meta.NRows, ev.Meta.NVals, ev.File)
 		}
-		log.Printf("lagraphd: durable store at %s (%d graphs)", *dataDir, len(cat.Names()))
+		if rs := pers.ReplayStats(); rs.Applied+rs.SkippedFloor+rs.SkippedUnknown > 0 {
+			log.Printf("lagraphd: wal: replayed %d edge batches (%d below snapshot floors, %d for unknown graphs)",
+				rs.Applied, rs.SkippedFloor, rs.SkippedUnknown)
+		}
+		log.Printf("lagraphd: durable store at %s (%d graphs, wal next LSN %d)",
+			*dataDir, len(cat.Names()), jl.NextLSN())
 	}
 
 	srv := svc.New(cat, counters, svc.Config{

@@ -5,20 +5,30 @@
 // return identical checksums (the determinism contract), and finally
 // validates the /metrics payload. Exit status 0 means the round-trip is
 // healthy; any protocol violation exits 1 — which is exactly what the CI
-// server-smoke job keys on.
+// server-smoke job keys on. Queries alternate between the /v1 and legacy
+// spellings, and the legacy spelling is required to answer with a
+// Deprecation header while /v1 must not.
+//
+// With -edges N the mix also ingests N deterministic edge batches (POST
+// /v1/graphs/{name}-mut/edges) against a second copy of the graph,
+// interleaved with the query traffic. The batches are derived from their
+// index alone and pairwise disjoint, so the mutated graph's final state
+// is identical regardless of interleaving; a verification pass records
+// its post-ingest checksums under mut:* keys.
 //
 // For crash-recovery smoke testing it can also flush the daemon's
 // durable store (-flush), record the per-algorithm checksums to a file
 // (-checksums-out), skip loading and query a graph recovered from disk
 // (-no-load), and assert the checksums match a previous run
 // (-checksums-in) — proving a restarted daemon serves bitwise-identical
-// results from its snapshots.
+// results from its snapshots (and, for mut:* keys, from snapshot + WAL
+// replay).
 //
 // Usage:
 //
 //	loadgen -base http://127.0.0.1:8487 -scale 10 -queries 64 -parallel 8
-//	loadgen -base ... -flush -checksums-out sums.json   # before kill -9
-//	loadgen -base ... -no-load -checksums-in sums.json  # after restart
+//	loadgen -base ... -edges 32 -flush -checksums-out sums.json  # before kill -9
+//	loadgen -base ... -no-load -checksums-in sums.json           # after restart
 package main
 
 import (
@@ -53,12 +63,16 @@ func main() {
 	flush := flag.Bool("flush", false, "POST /admin/flush after the query mix (daemon must run with -data)")
 	sumsOut := flag.String("checksums-out", "", "write per-algorithm checksums to this JSON file")
 	sumsIn := flag.String("checksums-in", "", "require per-algorithm checksums to match this JSON file")
+	edges := flag.Int("edges", 0, "edge-mutation batches to interleave with the query mix (0 = none)")
+	edgeBatch := flag.Int("edge-batch", 64, "tuples per edge batch")
+	edgeOffset := flag.Int("edge-offset", 0, "offset added to batch indices, so successive runs ingest disjoint batches")
 	flag.Parse()
 
 	opts := options{
 		base: *base, name: *name, scale: *scale, queries: *queries,
 		parallel: *parallel, wait: *wait, noLoad: *noLoad, flush: *flush,
 		sumsOut: *sumsOut, sumsIn: *sumsIn,
+		edges: *edges, edgeBatch: *edgeBatch, edgeOffset: *edgeOffset,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -75,6 +89,9 @@ type options struct {
 	wait            time.Duration
 	noLoad, flush   bool
 	sumsOut, sumsIn string
+	edges           int
+	edgeBatch       int
+	edgeOffset      int
 }
 
 func run(opts options) error {
@@ -98,7 +115,28 @@ func run(opts options) error {
 		time.Sleep(200 * time.Millisecond)
 	}
 
-	// 2. Load a deterministic synthetic graph (replace, so reruns work).
+	// 2. Versioning contract: the legacy spelling answers with a
+	// Deprecation header naming its /v1 successor; the /v1 spelling
+	// answers without one.
+	for _, probe := range []struct {
+		path       string
+		wantLegacy bool
+	}{{"/graphs", true}, {"/v1/graphs", false}} {
+		resp, err := client.Get(base + probe.path)
+		if err != nil {
+			return fmt.Errorf("probe %s: %v", probe.path, err)
+		}
+		resp.Body.Close()
+		dep := resp.Header.Get("Deprecation")
+		if probe.wantLegacy && dep != "true" {
+			return fmt.Errorf("legacy path %s missing Deprecation header", probe.path)
+		}
+		if !probe.wantLegacy && dep != "" {
+			return fmt.Errorf("canonical path %s wrongly marked deprecated", probe.path)
+		}
+	}
+
+	// 3. Load a deterministic synthetic graph (replace, so reruns work).
 	// With -no-load the graph must already be registered — the daemon is
 	// expected to have recovered it from its durable store.
 	if opts.noLoad {
@@ -123,9 +161,24 @@ func run(opts options) error {
 		if code/100 != 2 {
 			return fmt.Errorf("load: status %d: %s", code, body)
 		}
+		if opts.edges > 0 {
+			// Second copy for the mutation traffic, so the concurrent edge
+			// batches cannot perturb the main graph's determinism checks.
+			load["name"] = mutName(name)
+			code, body, err := postJSON(client, base+"/v1/graphs", load)
+			if err != nil {
+				return fmt.Errorf("load mut: %v", err)
+			}
+			if code/100 != 2 {
+				return fmt.Errorf("load mut: status %d: %s", code, body)
+			}
+		}
 	}
 
-	// 3. Fire the query mix concurrently; every query must be 2xx.
+	// 4. Fire the query mix concurrently; every request must be 2xx.
+	// Queries alternate between the legacy and /v1 spellings; with -edges,
+	// deterministic edge batches against the mutation copy are interleaved
+	// into the same worker pool.
 	mix := []map[string]any{
 		{"algo": "bfs", "src": 0},
 		{"algo": "parents", "src": 0},
@@ -134,25 +187,47 @@ func run(opts options) error {
 		{"algo": "cc"},
 		{"algo": "tc"},
 	}
+	n := 1 << opts.scale
 	// The job queue is filled and closed up front (it is small — one int
-	// per query), so the workers are plain drain-until-closed goroutines
+	// per job), so the workers are plain drain-until-closed goroutines
 	// and the spawner's wg.Wait() bounds their lifetime; no feeder
-	// goroutine to leak if a worker dies early.
-	jobs := make(chan int, queries)
-	for i := 0; i < queries; i++ {
+	// goroutine to leak if a worker dies early. Job i < queries is query
+	// #i; job i >= queries is edge batch #(i-queries). Interleaving comes
+	// from striding the edge jobs through the fill order.
+	total := queries + opts.edges
+	order := interleave(queries, opts.edges)
+	jobs := make(chan int, total)
+	for _, i := range order {
 		jobs <- i
 	}
 	close(jobs)
-	results := make(chan result, queries)
+	results := make(chan result, total)
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if i >= queries {
+					b := i - queries
+					r := result{algo: "edges"}
+					code, body, err := postJSON(client,
+						base+"/v1/graphs/"+mutName(name)+"/edges", edgeBatchBody(n, b+opts.edgeOffset, opts.edgeBatch))
+					r.code, r.err = code, err
+					if err == nil && code != 200 {
+						r.err = fmt.Errorf("edge batch %d: status %d: %s", b, code, body)
+						r.code = code
+					}
+					results <- r
+					continue
+				}
 				q := mix[i%len(mix)]
+				prefix := "" // alternate spellings; both must serve the mix
+				if i%2 == 1 {
+					prefix = "/v1"
+				}
 				r := result{algo: q["algo"].(string)}
-				code, body, err := postJSON(client, base+"/graphs/"+name+"/query", q)
+				code, body, err := postJSON(client, base+prefix+"/graphs/"+name+"/query", q)
 				r.code, r.err = code, err
 				if err == nil && code == 200 {
 					var qr struct {
@@ -167,7 +242,7 @@ func run(opts options) error {
 			}
 		}()
 	}
-	// results is buffered for every query, so the workers finish without a
+	// results is buffered for every job, so the workers finish without a
 	// concurrent reader and the loop below sees a closed, fully-drained
 	// channel.
 	wg.Wait()
@@ -192,10 +267,28 @@ func run(opts options) error {
 		}
 		ok++
 	}
-	fmt.Printf("loadgen: %d/%d queries OK across %d algorithms\n", ok, queries, len(mix))
+	fmt.Printf("loadgen: %d/%d requests OK across %d algorithms (+%d edge batches)\n",
+		ok, total, len(mix), opts.edges)
+
+	// Post-ingest verification of the mutation copy: its final state is a
+	// pure function of the batch set (batches are pairwise disjoint, and a
+	// batch's removes target only its own adds), so these checksums are
+	// deterministic and recoverable — they go into the sums file under
+	// mut:* keys and must survive a kill -9 via snapshot + WAL replay.
+	// The -no-load recovery run re-verifies whenever the daemon recovered
+	// the mutation copy, without needing -edges itself.
+	if mutSums, err := verifyMut(client, base, mutName(name)); err != nil {
+		return err
+	} else {
+		for k, v := range mutSums {
+			sums[k] = v
+		}
+	}
 
 	// Cross-run determinism: compare against (or record for) another run,
-	// typically across a daemon kill and recovery.
+	// typically across a daemon kill and recovery. Every recorded key must
+	// be present — a key the recovery run cannot produce means a graph
+	// was lost, which is exactly what this check exists to catch.
 	if opts.sumsIn != "" {
 		raw, err := os.ReadFile(opts.sumsIn)
 		if err != nil {
@@ -206,7 +299,11 @@ func run(opts options) error {
 			return fmt.Errorf("checksums-in: %v", err)
 		}
 		for algo, sum := range want {
-			if got, have := sums[algo]; have && got != sum {
+			got, have := sums[algo]
+			if !have {
+				return fmt.Errorf("checksum missing after recovery: %s was %s, now absent", algo, sum)
+			}
+			if got != sum {
 				return fmt.Errorf("checksum drift after recovery: %s was %s, now %s", algo, sum, got)
 			}
 		}
@@ -251,6 +348,110 @@ func run(opts options) error {
 	}
 	fmt.Println("loadgen: /metrics validated")
 	return nil
+}
+
+// mutName is the mutation copy's graph name.
+func mutName(name string) string { return name + "-mut" }
+
+// interleave returns job indices 0..queries+edges-1 with the edge jobs
+// (indices >= queries) strided evenly through the query jobs, so edge
+// ingestion and query traffic genuinely overlap in the worker pool.
+func interleave(queries, edges int) []int {
+	out := make([]int, 0, queries+edges)
+	if edges == 0 {
+		for i := 0; i < queries; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	stride := queries/edges + 1
+	e := 0
+	for i := 0; i < queries; i++ {
+		out = append(out, i)
+		if (i+1)%stride == 0 && e < edges {
+			out = append(out, queries+e)
+			e++
+		}
+	}
+	for ; e < edges; e++ {
+		out = append(out, queries+e)
+	}
+	return out
+}
+
+// edgeBatchBody builds deterministic edge batch #b for an n-vertex graph.
+// Tuple m = b*size+k maps to a unique (src, dst) pair, so batches are
+// pairwise disjoint and the final graph state does not depend on the
+// order in which concurrent batches land. Every 4th batch also removes
+// the first half of its own adds in the same batch (within-batch order is
+// preserved by the ingest contract), exercising the remove path without
+// introducing cross-batch ordering dependencies.
+func edgeBatchBody(n, b, size int) map[string]any {
+	type tuple = map[string]any
+	mk := func(k int) (src, dst int, w float64) {
+		m := b*size + k
+		src = m % n
+		dst = (m/n + src + 1) % n
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		return src, dst, float64(1 + m%7)
+	}
+	var edges []tuple
+	for k := 0; k < size; k++ {
+		src, dst, w := mk(k)
+		edges = append(edges, tuple{"src": src, "dst": dst, "weight": w})
+	}
+	if b%4 == 3 {
+		for k := 0; k < size/2; k++ {
+			src, dst, _ := mk(k)
+			edges = append(edges, tuple{"src": src, "dst": dst, "remove": true})
+		}
+	}
+	return map[string]any{"edges": edges}
+}
+
+// verifyMut records the mutation copy's post-ingest state: structural
+// edge count plus cc/tc checksums, keyed mut:*. A daemon that never saw
+// the mutation copy (plain run without -edges, or a recovery where it was
+// never created) contributes nothing.
+func verifyMut(client *http.Client, base, mut string) (map[string]string, error) {
+	resp, err := client.Get(base + "/v1/graphs/" + mut)
+	if err != nil {
+		return nil, fmt.Errorf("mut info: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 404 {
+		return nil, nil
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("mut info: status %d", resp.StatusCode)
+	}
+	var info struct {
+		NEdges int `json:"nedges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("mut info: %v", err)
+	}
+	sums := map[string]string{"mut:nedges": fmt.Sprint(info.NEdges)}
+	for _, algo := range []string{"cc", "tc"} {
+		code, body, err := postJSON(client, base+"/v1/graphs/"+mut+"/query", map[string]any{"algo": algo})
+		if err != nil {
+			return nil, fmt.Errorf("mut %s: %v", algo, err)
+		}
+		if code != 200 {
+			return nil, fmt.Errorf("mut %s: status %d: %s", algo, code, body)
+		}
+		var qr struct {
+			Checksum string `json:"checksum"`
+		}
+		if err := json.Unmarshal(body, &qr); err != nil {
+			return nil, fmt.Errorf("mut %s: %v", algo, err)
+		}
+		sums["mut:"+algo] = qr.Checksum
+	}
+	fmt.Printf("loadgen: mutation copy %q verified (%d stored entries)\n", mut, info.NEdges)
+	return sums, nil
 }
 
 func postJSON(client *http.Client, url string, v any) (int, []byte, error) {

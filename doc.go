@@ -75,6 +75,14 @@ var (
 	WithMethod = lagraph.WithMethod
 	// WithPresort sets the degree presort for TriangleCount.
 	WithPresort = lagraph.WithPresort
+	// WithDamping sets PageRank's damping factor (default 0.85).
+	WithDamping = lagraph.WithDamping
+	// WithTolerance sets the convergence tolerance of fixed-point loops.
+	WithTolerance = lagraph.WithTolerance
+	// WithMaxIter caps the main iteration count.
+	WithMaxIter = lagraph.WithMaxIter
+	// WithDelta sets delta-stepping's bucket width (default 2).
+	WithDelta = lagraph.WithDelta
 )
 
 // NewMatrix creates an empty nrows×ncols GraphBLAS matrix.
@@ -111,18 +119,21 @@ var (
 	BFSLevels = lagraph.BFSLevels
 	// BFSParents computes the BFS parent tree with the ANY semiring.
 	BFSParents = lagraph.BFSParents
-	// PageRank computes damped PageRank with an L1 stopping tolerance.
-	PageRank = lagraph.PageRank
+	// PageRank computes damped PageRank with an L1 stopping tolerance;
+	// tune it with WithDamping, WithTolerance, WithMaxIter.
+	PageRank = lagraph.PageRankWith
 	// TriangleCount counts triangles; see lagraph.TCMethod for kernels.
 	TriangleCount = lagraph.TriangleCount
 	// ConnectedComponents labels weakly connected components (FastSV).
 	ConnectedComponents = lagraph.ConnectedComponentsFastSV
-	// SSSP computes single-source shortest paths (delta-stepping).
-	SSSP = lagraph.SSSPDeltaStepping
+	// SSSP computes single-source shortest paths (delta-stepping); tune
+	// the bucket width with WithDelta.
+	SSSP = lagraph.SSSP
 	// KCore computes the k-core decomposition.
 	KCore = lagraph.KCore
-	// HITS computes hub and authority scores.
-	HITS = lagraph.HITS
+	// HITS computes hub and authority scores; tune it with WithTolerance
+	// and WithMaxIter.
+	HITS = lagraph.HITSWith
 	// Modularity scores a clustering.
 	Modularity = lagraph.Modularity
 	// Measure computes basic graph statistics.

@@ -24,7 +24,7 @@ func main() {
 	fmt.Printf("web graph: %d pages, %d links\n", g.N(), g.NEdges())
 
 	t0 := time.Now()
-	res, err := lagraph.PageRank(g, 0.85, 1e-8, 200)
+	res, err := lagraph.PageRankWith(g, lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-8), lagraph.WithMaxIter(200))
 	if err != nil {
 		log.Fatal(err)
 	}

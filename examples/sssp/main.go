@@ -28,7 +28,7 @@ func main() {
 	dst := rows*cols - 1
 
 	t0 := time.Now()
-	dist, err := lagraph.SSSPDeltaStepping(g, src, 8)
+	dist, err := lagraph.SSSP(g, src, lagraph.WithDelta(8))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -67,7 +67,7 @@ func TestPipelineGenerateSerializeAnalyze(t *testing.T) {
 	}
 
 	// SSSP agrees with Dijkstra.
-	dist, err := lagraph.SSSPDeltaStepping(g, 0, 3)
+	dist, err := lagraph.SSSP(g, 0, lagraph.WithDelta(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestFacadeSurface(t *testing.T) {
 	if err != nil || cc.Nvals() != g.N() {
 		t.Fatalf("cc: %v", err)
 	}
-	pr, err := root.PageRank(g, 0.85, 1e-6, 50)
+	pr, err := root.PageRank(g, lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-6), lagraph.WithMaxIter(50))
 	if err != nil || !pr.Converged {
 		t.Fatalf("pagerank: %v", err)
 	}

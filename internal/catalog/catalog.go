@@ -52,6 +52,7 @@ type Stats struct {
 	Graphs  int   `json:"graphs"`
 	Views   int64 `json:"views"`   // read-locked query executions
 	Updates int64 `json:"updates"` // write-locked mutations
+	Ingests int64 `json:"ingests"` // streaming edge-batch mutations
 	Warms   int64 `json:"warms"`   // cold→warm property materializations
 }
 
@@ -62,6 +63,7 @@ type Catalog struct {
 
 	views   atomic.Int64
 	updates atomic.Int64
+	ingests atomic.Int64
 	warms   atomic.Int64
 }
 
@@ -154,6 +156,7 @@ func (c *Catalog) Stats() Stats {
 		Graphs:  n,
 		Views:   c.views.Load(),
 		Updates: c.updates.Load(),
+		Ingests: c.ingests.Load(),
 		Warms:   c.warms.Load(),
 	}
 }

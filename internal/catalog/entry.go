@@ -42,6 +42,12 @@ type Entry struct {
 	// inside a View callback — a nested RLock would deadlock against a
 	// queued writer. Writes still happen only under the exclusive lock.
 	gen atomic.Uint64
+	// jseq is the journal high-water mark: the WAL sequence number of the
+	// last edge batch applied to this entry (0 = never mutated through the
+	// streaming write path). Atomic for the same reason as gen; advanced
+	// only under the exclusive lock (inside Ingest) or before publication
+	// (boot recovery).
+	jseq atomic.Uint64
 
 	// warm-time flags (valid while warm is true, kept until next Update
 	// so Properties of a cold entry can still report the last-known
@@ -95,6 +101,44 @@ func (e *Entry) Update(fn func(g *lagraph.Graph) error) error {
 	return err
 }
 
+// Ingest runs fn with the exclusive lock held, for the streaming edge
+// write path. It differs from Update in one deliberate way: pending
+// tuples are NOT assembled before publish. fn is expected to land edge
+// batches as pending tuples (grb SetElements / RemoveElement), and
+// assembly is deferred to the next reader's warm — that deferral is what
+// makes per-batch ingest latency independent of graph size (paper §II-A:
+// e buffered insertions assemble once in O(e log e), not e times). The
+// "Wait before publish" rule is preserved in spirit because the entry is
+// published COLD: the next View warms (and therefore assembles) under
+// the exclusive lock before any reader touches the graph.
+//
+// fn reports whether it mutated the graph. Cache invalidation and the
+// generation bump happen only when it did — a batch rejected whole by
+// validation leaves the entry warm and its generation unchanged.
+//
+//grblint:holdslock mu
+func (e *Entry) Ingest(fn func(g *lagraph.Graph) (mutated bool, err error)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mutated, err := fn(e.g)
+	if mutated {
+		e.g.InvalidateCache()
+		e.warm = false
+		e.gen.Add(1)
+		e.cat.ingests.Add(1)
+	}
+	return err
+}
+
+// SetJournalSeq records the WAL sequence number of the last edge batch
+// applied to this entry. Call inside the Ingest callback (the exclusive
+// lock is held) or during boot recovery before the entry is published.
+func (e *Entry) SetJournalSeq(lsn uint64) { e.jseq.Store(lsn) }
+
+// JournalSeq returns the WAL high-water mark of this entry (0 = no edge
+// batch ever applied). Lock-free, safe inside View callbacks.
+func (e *Entry) JournalSeq() uint64 { return e.jseq.Load() }
+
 // Properties returns the entry's cached structural facts. On a warm entry
 // this is lock-shared and touches no lazy state; on a cold entry it warms
 // first (the service's info endpoint doubles as a prefetch).
@@ -137,8 +181,12 @@ type SnapshotInfo struct {
 	// Generation is the mutation counter the snapshot pinned: the bytes
 	// written are exactly the graph as of this generation.
 	Generation uint64
-	Directed   bool
-	N, NEdges  int
+	// Journal is the WAL high-water mark the snapshot captured: every
+	// edge batch with sequence <= Journal is contained in the bytes, so
+	// boot recovery replays only the suffix beyond it.
+	Journal   uint64
+	Directed  bool
+	N, NEdges int
 }
 
 // Snapshot serializes the graph to w under the shared read lock at a
@@ -152,6 +200,7 @@ func (e *Entry) Snapshot(w io.Writer) (SnapshotInfo, error) {
 	err := e.View(func(g *lagraph.Graph) error {
 		info = SnapshotInfo{
 			Generation: e.gen.Load(),
+			Journal:    e.jseq.Load(),
 			Directed:   g.Kind == lagraph.Directed,
 			N:          g.N(),
 			NEdges:     g.NEdges(),

@@ -221,6 +221,64 @@ func (a *Matrix[T]) SetElement(i, j int, x T) error {
 	return nil
 }
 
+// SetElements buffers a batch of updates a(is[k], js[k]) = xs[k] as
+// pending tuples in one call — the batch-ingest entry point the service's
+// streaming write path lands edge batches through. Validation is
+// all-or-nothing: every index is bounds-checked before any tuple is
+// buffered, so a rejected batch leaves the matrix exactly as it was.
+//
+// dup selects the duplicate-combination semantics at the next assembly:
+// nil means last value wins (matching SetElement — later tuples shadow
+// earlier ones and overwrite stored entries), while a non-nil dup both
+// combines duplicates within the buffered batch and accumulates a
+// buffered value onto an already-stored entry (matching MergeElement).
+// Choosing dup therefore chooses accumulate semantics, not replace. A
+// batch with a non-nil dup first assembles anything already buffered
+// (operator identity is unprovable across calls), so only runs of
+// last-wins batches defer assembly across batch boundaries.
+//
+// A sequence of batches totalling e tuples still assembles in
+// O(e log e): batching changes the constant (one bounds-check loop, one
+// append), not the complexity class (paper §II-A).
+func (a *Matrix[T]) SetElements(is, js []int, xs []T, dup BinaryOp[T, T, T]) error {
+	if len(is) != len(js) || len(is) != len(xs) {
+		return ErrDimensionMismatch
+	}
+	for k := range is {
+		if is[k] < 0 || is[k] >= a.nr || js[k] < 0 || js[k] >= a.nc {
+			return ErrIndexOutOfBounds
+		}
+	}
+	if len(is) == 0 {
+		return nil
+	}
+	if dup == nil {
+		if a.pendOp != nil {
+			a.Wait() // flush accumulating updates before last-wins ones
+		}
+	} else {
+		// Two function values cannot be compared, so a batch carrying any
+		// dup assembles whatever is already buffered rather than trusting
+		// it used the same operator: correctness over deferral on the
+		// (rarer) accumulate path.
+		if len(a.pend) > 0 || a.pendOp != nil {
+			a.Wait()
+		}
+		a.pendOp = dup
+	}
+	if cap(a.pend)-len(a.pend) < len(is) {
+		grown := make([]tuple[T], len(a.pend), len(a.pend)+len(is))
+		copy(grown, a.pend)
+		a.pend = grown
+	}
+	for k := range is {
+		a.pend = append(a.pend, tuple[T]{is[k], js[k], xs[k]})
+	}
+	a.csc = nil
+	a.bmp = nil
+	return nil
+}
+
 // accumElement buffers a(i,j) = a(i,j) ⊙ x (used by Assign with an
 // accumulator). All buffered updates must share one operator; a change of
 // operator forces assembly.

@@ -217,7 +217,7 @@ func TestPageRankMatchesBaseline(t *testing.T) {
 	g := FromEdgeList(e, Directed)
 	bg := baseline.FromMatrix(g.A.Dup())
 	want := baseline.PageRank(bg, 0.85, 100)
-	res, err := PageRank(g, 0.85, 1e-10, 200)
+	res, err := PageRankWith(g, WithDamping(0.85), WithTolerance(1e-10), WithMaxIter(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,10 +242,14 @@ func TestPageRankMatchesBaseline(t *testing.T) {
 
 func TestPageRankBadArgs(t *testing.T) {
 	g := rmatGraph(t, 5, 4, 1, false)
-	if _, err := PageRank(g, 1.5, 1e-4, 10); err != ErrBadArgument {
+	if _, err := PageRankWith(g, WithDamping(1.5)); err != ErrBadArgument {
 		t.Fatal(err)
 	}
-	if _, err := PageRank(g, 0.85, 1e-4, 0); err != ErrBadArgument {
+	if _, err := PageRankWith(g, WithDamping(-0.1)); err != ErrBadArgument {
+		t.Fatal(err)
+	}
+	// Zero-value options select defaults rather than erroring.
+	if _, err := PageRankWith(g, WithMaxIter(0), WithTolerance(0)); err != nil {
 		t.Fatal(err)
 	}
 }

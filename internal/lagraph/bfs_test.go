@@ -229,7 +229,7 @@ func TestSSSPDeltaSteppingMatchesDijkstra(t *testing.T) {
 		g := FromEdgeList(e, Undirected)
 		bg := baseline.FromMatrix(g.A.Dup())
 		want := baseline.Dijkstra(bg, 2)
-		got, err := SSSPDeltaStepping(g, 2, delta)
+		got, err := SSSP(g, 2, WithDelta(delta))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +243,7 @@ func TestSSSPDeltaSteppingGrid(t *testing.T) {
 	g := FromEdgeList(e, Undirected)
 	bg := baseline.FromMatrix(g.A.Dup())
 	want := baseline.Dijkstra(bg, 0)
-	got, err := SSSPDeltaStepping(g, 0, 3)
+	got, err := SSSP(g, 0, WithDelta(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestSSSPBadArgs(t *testing.T) {
 	if _, err := SSSPBellmanFord(g, -1); err != ErrBadArgument {
 		t.Fatal(err)
 	}
-	if _, err := SSSPDeltaStepping(g, 0, 0); err != ErrBadArgument {
+	if _, err := SSSP(g, 0, WithDelta(-1)); err != ErrBadArgument {
 		t.Fatal(err)
 	}
 }

@@ -75,7 +75,7 @@ func goldenCases() map[string]func(g *lagraph.Graph) ([]byte, error) {
 			return serialize(err, func(w *bytes.Buffer) error { return grb.SerializeVector(w, v) })
 		},
 		"pagerank": func(g *lagraph.Graph) ([]byte, error) {
-			r, err := lagraph.PageRank(g, 0.85, 1e-9, 200)
+			r, err := lagraph.PageRankWith(g, lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-9), lagraph.WithMaxIter(200))
 			if err != nil {
 				return nil, err
 			}

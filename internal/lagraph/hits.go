@@ -20,20 +20,8 @@ type HITSResult struct {
 	Converged   bool
 }
 
-// HITS computes hub and authority scores, stopping when the L1 change of
-// both vectors drops below tol.
-//
-// Deprecated: use HITSWith (WithTolerance, WithMaxIter).
-func HITS(g *Graph, tol float64, maxIter int) (*HITSResult, error) {
-	// Positional arguments are validated here, before zero values could
-	// silently become Options defaults.
-	if maxIter <= 0 || tol <= 0 {
-		return nil, ErrBadArgument
-	}
-	return HITSWith(g, WithTolerance(tol), WithMaxIter(maxIter))
-}
-
-// HITSWith computes hub and authority scores. Defaults: tolerance 1e-6,
+// HITSWith computes hub and authority scores, stopping when the L1 change
+// of both vectors drops below the tolerance. Defaults: tolerance 1e-6,
 // at most 50 iterations.
 func HITSWith(g *Graph, opts ...Option) (*HITSResult, error) {
 	cfg := newOptions(opts)

@@ -21,7 +21,7 @@ func TestHITSBipartiteCore(t *testing.T) {
 	el.W = append(el.W, 1)
 	g := FromEdgeList(el, Directed)
 
-	res, err := HITS(g, 1e-10, 200)
+	res, err := HITSWith(g, WithTolerance(1e-10), WithMaxIter(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestHITSBipartiteCore(t *testing.T) {
 
 func TestHITSNormalization(t *testing.T) {
 	g := rmatGraph(t, 8, 8, 3, false)
-	res, err := HITS(g, 1e-9, 300)
+	res, err := HITSWith(g, WithTolerance(1e-9), WithMaxIter(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +65,20 @@ func TestHITSNormalization(t *testing.T) {
 	}
 }
 
-func TestHITSBadArgs(t *testing.T) {
+func TestHITSDefaults(t *testing.T) {
+	// Zero-value options select the documented defaults (tol 1e-6,
+	// 50 iterations) instead of erroring, so an explicit run with those
+	// values must match the default run exactly.
 	g := rmatGraph(t, 5, 4, 1, false)
-	if _, err := HITS(g, 0, 10); err != ErrBadArgument {
-		t.Fatal("tol")
+	def, err := HITSWith(g)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := HITS(g, 1e-6, 0); err != ErrBadArgument {
-		t.Fatal("iters")
+	exp, err := HITSWith(g, WithTolerance(1e-6), WithMaxIter(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Iterations != exp.Iterations || def.Converged != exp.Converged {
+		t.Fatalf("defaults drifted: %+v vs %+v", def, exp)
 	}
 }

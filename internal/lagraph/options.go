@@ -14,10 +14,11 @@ import (
 // records. The zero value of every field means "algorithm default", so
 // options compose freely and new fields are backward compatible.
 //
-// The positional signatures that predate Options (PageRank's
+// The positional signatures that predated Options (PageRank's
 // (damping, tol, maxIter), HITS's (tol, maxIter), SSSPDeltaStepping's
-// delta) remain as thin deprecated wrappers over the Options-based entry
-// points.
+// delta) have been removed: PageRankWith, HITSWith, and SSSP are the only
+// entry points, and grblint's deprecation check keeps new Deprecated
+// symbols from accumulating.
 type Options struct {
 	// MaxIter caps the main iteration count; 0 selects the algorithm's
 	// default (n for traversals, 100 for PageRank, 50 for HITS).
@@ -67,12 +68,6 @@ type Options struct {
 
 // Option mutates an Options; pass them variadically to entry points.
 type Option func(*Options)
-
-// BFSOption is the former name of Option, kept so existing callers and
-// signatures compile unchanged.
-//
-// Deprecated: use Option.
-type BFSOption = Option
 
 // newOptions folds opts over the zero value.
 func newOptions(opts []Option) Options {

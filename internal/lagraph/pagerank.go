@@ -19,18 +19,6 @@ type PageRankResult struct {
 	Converged  bool
 }
 
-// PageRank computes the damped PageRank of every vertex.
-//
-// Deprecated: use PageRankWith (WithDamping, WithTolerance, WithMaxIter).
-func PageRank(g *Graph, damping, tol float64, maxIter int) (*PageRankResult, error) {
-	// Positional arguments are validated here, before zero values could
-	// silently become Options defaults.
-	if damping <= 0 || damping >= 1 || maxIter <= 0 {
-		return nil, ErrBadArgument
-	}
-	return PageRankWith(g, WithDamping(damping), WithTolerance(tol), WithMaxIter(maxIter))
-}
-
 // PageRankWith computes the damped PageRank of every vertex. Defaults:
 // damping 0.85, tolerance 1e-4, at most 100 iterations.
 func PageRankWith(g *Graph, opts ...Option) (*PageRankResult, error) {

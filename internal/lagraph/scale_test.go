@@ -29,7 +29,7 @@ func TestScaleSweep(t *testing.T) {
 	})
 	t.Run("sssp", func(t *testing.T) {
 		want := baseline.Dijkstra(bg, 0)
-		got, err := SSSPDeltaStepping(g, 0, 4)
+		got, err := SSSP(g, 0, WithDelta(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func TestScaleSweep(t *testing.T) {
 		}
 	})
 	t.Run("pagerank", func(t *testing.T) {
-		res, err := PageRank(g, 0.85, 1e-8, 100)
+		res, err := PageRankWith(g, WithDamping(0.85), WithTolerance(1e-8), WithMaxIter(100))
 		if err != nil || !res.Converged {
 			t.Fatalf("pr: %v", err)
 		}

@@ -11,7 +11,7 @@ import (
 func TestShortestPathTree(t *testing.T) {
 	e := gen.Grid2D(10, 10, gen.Config{Seed: 19, Undirected: true, MinWeight: 1, MaxWeight: 7})
 	g := FromEdgeList(e, Undirected)
-	dist, err := SSSPDeltaStepping(g, 0, 4)
+	dist, err := SSSP(g, 0, WithDelta(4))
 	if err != nil {
 		t.Fatal(err)
 	}

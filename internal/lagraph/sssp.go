@@ -71,21 +71,9 @@ func SSSP(g *Graph, src int, opts ...Option) (*grb.Vector[float64], error) {
 	return ssspDelta(g, src, delta, &cfg)
 }
 
-// SSSPDeltaStepping implements delta-stepping in GraphBLAS form: vertices
-// are processed in distance buckets of width delta; light edges (< delta)
-// are relaxed repeatedly inside the bucket, heavy edges once per bucket.
-// Weights must be non-negative.
-//
-// Deprecated: use SSSP with WithDelta.
-func SSSPDeltaStepping(g *Graph, src int, delta float64) (*grb.Vector[float64], error) {
-	if delta <= 0 {
-		return nil, ErrBadArgument
-	}
-	return SSSP(g, src, WithDelta(delta))
-}
-
-// ssspDelta is the delta-stepping core shared by SSSP and its deprecated
-// positional wrapper.
+// ssspDelta is the delta-stepping core: vertices are processed in distance
+// buckets of width delta; light edges (< delta) are relaxed repeatedly
+// inside the bucket, heavy edges once per bucket.
 func ssspDelta(g *Graph, src int, delta float64, cfg *Options) (*grb.Vector[float64], error) {
 	if err := g.checkSource(src); err != nil {
 		return nil, err

@@ -28,7 +28,7 @@ func allocBoundsCheck() *Check {
 		Doc:  "decoders must bound sizes before make()/Grow() — validate, then allocate",
 		Applies: func(p *Package) bool {
 			switch p.Name {
-			case "grb", "store", "svc", "mmio", "lagraph":
+			case "grb", "store", "svc", "mmio", "lagraph", "wal":
 				return true
 			}
 			return false

@@ -88,6 +88,7 @@ func Checks() []*Check {
 		goroutineLifecycleCheck(),
 		contextPlumbingCheck(),
 		allocBoundsCheck(),
+		deprecationCheck(),
 	}
 }
 

@@ -70,6 +70,7 @@ func TestFixtures(t *testing.T) {
 	fixtures := []string{
 		"determinism", "pending", "atomicfields", "purity", "errdiscipline", "format",
 		"lockdiscipline", "lockorder", "goroutine", "ctxplumb", "allocbounds",
+		"deprecated",
 	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,35 @@
+// Package fixture exercises the no-deprecated check: a flagged marker on
+// a function, a flagged marker on a type, a clean doc comment that merely
+// discusses deprecation in prose, and a justified suppression.
+package fixture
+
+// NewThing is the supported constructor.
+func NewThing() int { return 1 }
+
+// OldThing predates NewThing.
+//
+// Deprecated: use NewThing instead. // WANT no-deprecated
+func OldThing() int { return NewThing() }
+
+// LegacyAlias is the former name of a type.
+//
+// Deprecated: use int directly. // WANT no-deprecated
+type LegacyAlias = int
+
+// Explain documents policy: the word deprecated in prose, or a sentence
+// where Deprecated markers are *discussed*, must not trip the check —
+// only a paragraph-leading "Deprecated:" marker does.
+func Explain() string { return "deprecation is a transition, not a state" }
+
+// mirrored exercises the suppression path: the directive precedes the
+// marker, so the finding is suppressed and the reason is on record.
+// (The pair lives inside the body because gofmt relocates //grblint:
+// directives to the bottom of doc comments, which would break the
+// directive-above-marker adjacency the suppression index needs.)
+func mirrored() int {
+	//grblint:ignore no-deprecated: mirrors upstream signature pinned by fixture contract
+	// Deprecated: retained deliberately for the suppression-path test.
+	return 0
+}
+
+var _ = mirrored

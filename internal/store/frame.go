@@ -84,6 +84,14 @@ type Meta struct {
 	NVals int64 `json:"nvals,omitempty"`
 	// Generation is the catalog mutation counter the snapshot pinned.
 	Generation uint64 `json:"generation"`
+	// Journal is the WAL high-water mark the snapshot captured: every
+	// journaled edge batch with LSN <= Journal is already contained in
+	// the payload, so boot recovery replays only the WAL suffix beyond
+	// it. Zero for graphs never mutated through the streaming write path
+	// (and for snapshots written before the WAL existed — both replay
+	// from the beginning, which is correct because replay skips records
+	// at or below the floor and an absent floor means nothing to skip).
+	Journal uint64 `json:"journal,omitempty"`
 }
 
 // corruptf wraps ErrCorrupt with a diagnostic detail.

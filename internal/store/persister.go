@@ -10,6 +10,7 @@ import (
 
 	"lagraph/internal/catalog"
 	"lagraph/internal/lagraph"
+	"lagraph/internal/wal"
 )
 
 // Persister ties a catalog to a store: it knows which generation of each
@@ -20,6 +21,11 @@ import (
 type Persister struct {
 	st  *Store
 	cat *catalog.Catalog
+	// jl, when attached, is the edge-mutation journal: the streaming write
+	// path appends each accepted batch here before applying it, and boot
+	// recovery replays the suffix past each graph's snapshot floor.
+	// Immutable after AttachWAL (which runs before the service starts).
+	jl *wal.Log
 
 	mu    sync.Mutex
 	saved map[string]uint64 //grblint:guardedby mu // name → generation last durably written
@@ -28,6 +34,17 @@ type Persister struct {
 	// Remove interleaved, so a slow snapshot can never resurrect a graph
 	// dropped while it serialized.
 	removed map[string]uint64 //grblint:guardedby mu
+	// journal is each graph's durable WAL floor: the highest LSN already
+	// contained in its live snapshot. Records at or below the floor are
+	// dead for that graph; the floor across all graphs drives segment
+	// truncation.
+	journal map[string]uint64 //grblint:guardedby mu
+	// applied is each graph's in-memory WAL high-water mark (last LSN
+	// applied to the catalog entry). applied > journal means the graph
+	// has journaled mutations not yet captured by a snapshot.
+	applied map[string]uint64 //grblint:guardedby mu
+	// replayStats records what the boot-time WAL replay did.
+	replayStats ReplayStats //grblint:guardedby mu
 
 	// afterSerialize, when non-nil, runs between serialization and the
 	// store save. Test seam for the drop-vs-snapshot race.
@@ -36,11 +53,22 @@ type Persister struct {
 
 // NewPersister wires a store to a catalog.
 func NewPersister(st *Store, cat *catalog.Catalog) *Persister {
-	return &Persister{st: st, cat: cat, saved: map[string]uint64{}, removed: map[string]uint64{}}
+	return &Persister{
+		st: st, cat: cat,
+		saved: map[string]uint64{}, removed: map[string]uint64{},
+		journal: map[string]uint64{}, applied: map[string]uint64{},
+	}
 }
 
 // Store exposes the underlying store (metrics, tests).
 func (p *Persister) Store() *Store { return p.st }
+
+// AttachWAL connects the edge-mutation journal. Call before LoadAll (so
+// recovery replays it) and before the service starts accepting writes.
+func (p *Persister) AttachWAL(l *wal.Log) { p.jl = l }
+
+// WAL returns the attached journal (nil on a snapshot-only persister).
+func (p *Persister) WAL() *wal.Log { return p.jl }
 
 // SnapResult reports one completed snapshot.
 type SnapResult struct {
@@ -75,12 +103,170 @@ func (p *Persister) LoadAll() ([]RecoveryEvent, error) {
 			return fmt.Errorf("store: recover %q: %w", meta.Name, aerr)
 		}
 		e.SeedGeneration(meta.Generation)
+		e.SetJournalSeq(meta.Journal)
 		p.mu.Lock()
 		p.saved[meta.Name] = meta.Generation
+		p.journal[meta.Name] = meta.Journal
+		p.applied[meta.Name] = meta.Journal
 		p.mu.Unlock()
 		return nil
 	})
-	return events, err
+	if err != nil {
+		return events, err
+	}
+	if rerr := p.replayWAL(); rerr != nil {
+		return events, rerr
+	}
+	return events, nil
+}
+
+// ReplayStats reports what the WAL replay phase of LoadAll did.
+type ReplayStats struct {
+	// Applied counts journal records replayed onto catalog entries.
+	Applied int `json:"applied"`
+	// SkippedFloor counts records already contained in a snapshot
+	// (LSN at or below the graph's durable floor).
+	SkippedFloor int `json:"skipped_floor"`
+	// SkippedUnknown counts records naming graphs with no recovered
+	// snapshot (dropped before the crash, or quarantined): their
+	// mutations have nothing to land on and are reported, not replayed.
+	SkippedUnknown int `json:"skipped_unknown"`
+	// TornBytes and TornFile surface the WAL's own tail-truncation
+	// report (a crash mid-append: tolerated and logged).
+	TornBytes int64  `json:"torn_bytes"`
+	TornFile  string `json:"torn_file,omitempty"`
+}
+
+// ReplayStats returns what the boot-time WAL replay did (zero value when
+// no WAL is attached or LoadAll has not run).
+func (p *Persister) ReplayStats() ReplayStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replayStats
+}
+
+// replayWAL applies every journal record past its graph's snapshot floor.
+// The graph named by a record may have no snapshot (created, mutated and
+// never flushed before the crash — the service prevents this by forcing a
+// baseline snapshot before the first journaled batch, so in practice this
+// means "dropped later" or "snapshot quarantined"): such records are
+// counted and skipped, never a boot failure.
+func (p *Persister) replayWAL() error {
+	if p.jl == nil {
+		return nil
+	}
+	var rs ReplayStats
+	rec := p.jl.Recovery()
+	rs.TornBytes = rec.TornBytes
+	rs.TornFile = rec.TornFile
+	err := p.jl.Replay(1, func(r wal.Record) error {
+		b, derr := DecodeEdgeBatch(r.Payload)
+		if derr != nil {
+			// The record passed CRC + chain validation, so a payload that
+			// fails structural decode was written damaged — fail loudly
+			// rather than silently diverging from the pre-crash state.
+			return fmt.Errorf("store: wal replay: record %d: %w", r.LSN, derr)
+		}
+		p.mu.Lock()
+		floor := p.journal[b.Name]
+		p.mu.Unlock()
+		e, gerr := p.cat.Get(b.Name)
+		if gerr != nil {
+			rs.SkippedUnknown++
+			return nil
+		}
+		if r.LSN <= floor {
+			rs.SkippedFloor++
+			return nil
+		}
+		ierr := e.Ingest(func(g *lagraph.Graph) (bool, error) {
+			if aerr := ApplyEdgeBatch(g, b); aerr != nil {
+				return false, aerr
+			}
+			e.SetJournalSeq(r.LSN)
+			return true, nil
+		})
+		if ierr != nil {
+			return fmt.Errorf("store: wal replay: record %d on %q: %w", r.LSN, b.Name, ierr)
+		}
+		p.mu.Lock()
+		p.applied[b.Name] = r.LSN
+		p.mu.Unlock()
+		rs.Applied++
+		return nil
+	})
+	p.mu.Lock()
+	p.replayStats = rs
+	p.mu.Unlock()
+	return err
+}
+
+// JournalEdges appends an encoded edge batch to the WAL and returns its
+// LSN; the append is fsynced before return (the durability point of the
+// streaming write path). With no WAL attached it returns LSN 0 — the
+// mutation is memory-only until the next snapshot, the same durability a
+// volatile daemon had before the journal existed. Call while holding the
+// target entry's exclusive lock (inside catalog.Entry.Ingest), BEFORE
+// applying the batch: write-ahead means a crash can leave a journaled
+// batch unapplied (replay fixes that) but never an applied batch
+// unjournaled (nothing could fix that).
+func (p *Persister) JournalEdges(b EdgeBatch) (uint64, error) {
+	if p.jl == nil {
+		return 0, nil
+	}
+	payload, err := b.Encode()
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := p.jl.Append(payload)
+	if err != nil {
+		return 0, fmt.Errorf("store: journal edges for %q: %w", b.Name, err)
+	}
+	return lsn, nil
+}
+
+// MarkApplied records that every journal record up to lsn is applied to
+// the named graph in memory. Call after a successful apply, still under
+// the entry's exclusive lock (the catalog→store lock order permits
+// taking p.mu there; the reverse would not).
+func (p *Persister) MarkApplied(name string, lsn uint64) {
+	if lsn == 0 {
+		return
+	}
+	p.mu.Lock()
+	if lsn > p.applied[name] {
+		p.applied[name] = lsn
+	}
+	p.mu.Unlock()
+}
+
+// HasDurable reports whether the named graph has a durable snapshot. The
+// edges handler consults it to force a baseline snapshot before the
+// FIRST journaled batch of a freshly loaded graph — without one, the
+// WAL would hold mutations for a graph recovery cannot reconstruct.
+func (p *Persister) HasDurable(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.saved[name]
+	return ok
+}
+
+// TruncateWAL removes journal segments made dead by snapshots: a record
+// is dead once every graph's durable floor is at or past it. Called
+// after snapshot sweeps; returns the number of segments removed.
+func (p *Persister) TruncateWAL() (int, error) {
+	if p.jl == nil {
+		return 0, nil
+	}
+	floor := p.jl.NextLSN()
+	p.mu.Lock()
+	for name, applied := range p.applied {
+		if jf := p.journal[name]; applied > jf && jf+1 < floor {
+			floor = jf + 1
+		}
+	}
+	p.mu.Unlock()
+	return p.jl.TruncateBefore(floor)
 }
 
 // Dirty returns the names whose in-memory generation differs from the
@@ -137,7 +323,7 @@ func (p *Persister) SnapshotOne(name string) (SnapResult, error) {
 	written, err := p.st.SaveIf(Meta{
 		Name: name, Kind: kind,
 		NRows: int64(info.N), NCols: int64(info.N), NVals: int64(info.NEdges),
-		Generation: info.Generation,
+		Generation: info.Generation, Journal: info.Journal,
 	}, buf.Bytes(), func() bool {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -155,6 +341,11 @@ func (p *Persister) SnapshotOne(name string) (SnapResult, error) {
 	if p.removed[name] == rem {
 		if gen, ok := p.saved[name]; !ok || info.Generation > gen || written {
 			p.saved[name] = info.Generation
+		}
+		// The snapshot contains every journaled batch up to info.Journal:
+		// advance the durable floor so truncation can retire segments.
+		if info.Journal > p.journal[name] {
+			p.journal[name] = info.Journal
 		}
 	}
 	p.mu.Unlock()
@@ -188,6 +379,12 @@ func (p *Persister) FlushDirty() (FlushResult, error) {
 		}
 		res.Snapshotted = append(res.Snapshotted, sr)
 	}
+	// The sweep advanced durable floors; retire journal segments every
+	// graph is now snapshotted past. Best-effort: a truncation failure
+	// only costs disk, not correctness.
+	if _, terr := p.TruncateWAL(); terr != nil {
+		errs = append(errs, terr)
+	}
 	return res, errors.Join(errs...)
 }
 
@@ -200,6 +397,11 @@ func (p *Persister) Remove(name string) (removed bool, err error) {
 	p.mu.Lock()
 	p.removed[name]++
 	delete(p.saved, name)
+	// Forget the graph's journal position too: a dropped graph must not
+	// pin the truncation floor (its WAL records replay as
+	// skipped-unknown, which is exactly right for a drop).
+	delete(p.journal, name)
+	delete(p.applied, name)
 	p.mu.Unlock()
 	return p.st.Remove(name)
 }

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+// This file is the WAL payload vocabulary of the streaming write path:
+// the EdgeBatch wire codec (what a journal record carries) and the single
+// shared applicator that turns a batch into graph mutations. The HTTP
+// handler and boot-time WAL replay both go through ApplyEdgeBatch, which
+// is what makes "snapshot + replay" bitwise identical to the pre-crash
+// graph — there is exactly one interpretation of a batch, not a live one
+// and a recovery one that could drift apart.
+//
+// # Batch wire format (version 1)
+//
+//	byte     1      format version (= 1)
+//	uvarint  name length, then that many bytes (graph name)
+//	byte     dup code: 0 last-wins, 1 sum, 2 min, 3 max
+//	uvarint  op count
+//	per op:
+//	  byte     flags (bit 0: remove)
+//	  uvarint  src, uvarint dst
+//	  8 bytes  weight, float64 LE bits (add ops only)
+//
+// The WAL record framing (CRC-64, hash chain) covers integrity; this
+// codec only validates structure, and every structural failure wraps
+// ErrCorrupt.
+
+const (
+	batchVersion = 1
+	// maxBatchName caps the graph-name field of a decoded batch.
+	maxBatchName = 4096
+	// MaxBatchOps caps the ops in one batch — enforced at admission by
+	// the service and at decode here, so a damaged count field cannot
+	// drive allocation.
+	MaxBatchOps = 1 << 20
+)
+
+// EdgeOp is one edge mutation: an upsert (with weight) or a removal.
+type EdgeOp struct {
+	Remove bool
+	Src    int
+	Dst    int
+	Weight float64
+}
+
+// EdgeBatch is the unit of streaming ingestion: a named graph, a
+// duplicate-combination policy, and an ordered list of edge mutations.
+// Dup is one of "" / "last" (last value wins), "sum", "min", "max".
+type EdgeBatch struct {
+	Name string
+	Dup  string
+	Ops  []EdgeOp
+}
+
+// dupCode maps the Dup policy onto its wire byte.
+func dupCode(dup string) (byte, error) {
+	switch dup {
+	case "", "last":
+		return 0, nil
+	case "sum":
+		return 1, nil
+	case "min":
+		return 2, nil
+	case "max":
+		return 3, nil
+	}
+	return 0, fmt.Errorf("%w: unknown dup policy %q", lagraph.ErrBadArgument, dup)
+}
+
+// dupName is the inverse of dupCode.
+var dupName = [4]string{"last", "sum", "min", "max"}
+
+// DupOp resolves a Dup policy to the grb combiner SetElements expects
+// (nil = last-wins).
+func (b EdgeBatch) DupOp() (grb.BinaryOp[float64, float64, float64], error) {
+	switch b.Dup {
+	case "", "last":
+		return nil, nil
+	case "sum":
+		return func(x, y float64) float64 { return x + y }, nil
+	case "min":
+		return func(x, y float64) float64 { return math.Min(x, y) }, nil
+	case "max":
+		return func(x, y float64) float64 { return math.Max(x, y) }, nil
+	}
+	return nil, fmt.Errorf("%w: unknown dup policy %q", lagraph.ErrBadArgument, b.Dup)
+}
+
+// Encode serializes the batch for journaling.
+func (b EdgeBatch) Encode() ([]byte, error) {
+	if len(b.Name) == 0 || len(b.Name) > maxBatchName {
+		return nil, fmt.Errorf("%w: batch name length %d", lagraph.ErrBadArgument, len(b.Name))
+	}
+	if len(b.Ops) == 0 || len(b.Ops) > MaxBatchOps {
+		return nil, fmt.Errorf("%w: batch of %d ops (cap %d)", lagraph.ErrBadArgument, len(b.Ops), MaxBatchOps)
+	}
+	code, err := dupCode(b.Dup)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 2+len(b.Name)+binary.MaxVarintLen64+len(b.Ops)*(2+2*binary.MaxVarintLen64+8))
+	buf = append(buf, batchVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Name)))
+	buf = append(buf, b.Name...)
+	buf = append(buf, code)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Ops)))
+	for _, op := range b.Ops {
+		var flags byte
+		if op.Remove {
+			flags |= 1
+		}
+		if op.Src < 0 || op.Dst < 0 {
+			return nil, fmt.Errorf("%w: negative vertex id (%d,%d)", lagraph.ErrBadArgument, op.Src, op.Dst)
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, uint64(op.Src))
+		buf = binary.AppendUvarint(buf, uint64(op.Dst))
+		if !op.Remove {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(op.Weight))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeEdgeBatch parses a journaled batch. Structural failures wrap
+// ErrCorrupt; allocation is bounded by MaxBatchOps, compared before any
+// size derived from the input is used.
+func DecodeEdgeBatch(data []byte) (EdgeBatch, error) {
+	var b EdgeBatch
+	if len(data) == 0 || data[0] != batchVersion {
+		return b, corruptf("edge batch: bad version byte")
+	}
+	data = data[1:]
+	nameLen, n := binary.Uvarint(data)
+	if n <= 0 || nameLen == 0 || nameLen > maxBatchName || uint64(len(data)-n) < nameLen {
+		return b, corruptf("edge batch: bad name length")
+	}
+	data = data[n:]
+	b.Name = string(data[:nameLen])
+	data = data[nameLen:]
+	if len(data) < 1 || data[0] > 3 {
+		return b, corruptf("edge batch: bad dup code")
+	}
+	b.Dup = dupName[data[0]]
+	data = data[1:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count == 0 || count > MaxBatchOps {
+		return b, corruptf("edge batch: op count %d outside (0, %d]", count, MaxBatchOps)
+	}
+	data = data[n:]
+	b.Ops = make([]EdgeOp, 0, count)
+	for k := uint64(0); k < count; k++ {
+		if len(data) < 1 {
+			return b, corruptf("edge batch: truncated at op %d", k)
+		}
+		flags := data[0]
+		if flags > 1 {
+			return b, corruptf("edge batch: unknown flags %#x at op %d", flags, k)
+		}
+		data = data[1:]
+		src, n := binary.Uvarint(data)
+		if n <= 0 || src > math.MaxInt32 {
+			return b, corruptf("edge batch: bad src at op %d", k)
+		}
+		data = data[n:]
+		dst, n := binary.Uvarint(data)
+		if n <= 0 || dst > math.MaxInt32 {
+			return b, corruptf("edge batch: bad dst at op %d", k)
+		}
+		data = data[n:]
+		op := EdgeOp{Remove: flags&1 != 0, Src: int(src), Dst: int(dst)}
+		if !op.Remove {
+			if len(data) < 8 {
+				return b, corruptf("edge batch: truncated weight at op %d", k)
+			}
+			op.Weight = math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if len(data) != 0 {
+		return b, corruptf("edge batch: %d trailing bytes", len(data))
+	}
+	return b, nil
+}
+
+// ValidateEdgeBatch range-checks every op against the graph without
+// applying anything. The write path runs it BEFORE journaling: a batch
+// must be proven applicable before the WAL promises it durability,
+// because a journaled batch that fails to apply could never be replayed
+// consistently.
+func ValidateEdgeBatch(g *lagraph.Graph, b EdgeBatch) error {
+	if len(b.Ops) == 0 || len(b.Ops) > MaxBatchOps {
+		return fmt.Errorf("%w: batch of %d ops (cap %d)", lagraph.ErrBadArgument, len(b.Ops), MaxBatchOps)
+	}
+	if _, err := b.DupOp(); err != nil {
+		return err
+	}
+	n := g.N()
+	for k, op := range b.Ops {
+		if op.Src < 0 || op.Src >= n || op.Dst < 0 || op.Dst >= n {
+			return fmt.Errorf("%w: op %d: vertex (%d,%d) outside graph of %d nodes",
+				lagraph.ErrBadArgument, k, op.Src, op.Dst, n)
+		}
+		if math.IsNaN(op.Weight) {
+			return fmt.Errorf("%w: op %d: NaN weight", lagraph.ErrBadArgument, k)
+		}
+	}
+	return nil
+}
+
+// ApplyEdgeBatch lands a batch on a graph: adds become pending tuples
+// (one SetElements call per contiguous run), removes go through
+// RemoveElement, and undirected graphs mirror every op so the adjacency
+// stays symmetric. Validation is all-or-nothing — every vertex id is
+// range-checked against the graph before anything is applied, so a
+// rejected batch leaves the graph untouched.
+//
+// Adds-only batches stay O(batch): nothing is assembled. A remove forces
+// assembly of the adds buffered before it (grb's remove path operates on
+// stored entries), so remove-heavy batches pay the materialization cost;
+// the cost model is documented on the handler.
+//
+// Callers hold the entry's exclusive lock (catalog.Entry.Ingest); replay
+// calls it on an unpublished graph. Both orderings keep the single-writer
+// invariant.
+func ApplyEdgeBatch(g *lagraph.Graph, b EdgeBatch) error {
+	if err := ValidateEdgeBatch(g, b); err != nil {
+		return err
+	}
+	dup, err := b.DupOp()
+	if err != nil {
+		return err
+	}
+	mirror := g.Kind == lagraph.Undirected
+	var is, js []int
+	var xs []float64
+	flushAdds := func() error {
+		if len(is) == 0 {
+			return nil
+		}
+		if err := g.A.SetElements(is, js, xs, dup); err != nil {
+			return err
+		}
+		is, js, xs = is[:0], js[:0], xs[:0]
+		return nil
+	}
+	for _, op := range b.Ops {
+		if op.Remove {
+			if err := flushAdds(); err != nil {
+				return err
+			}
+			if err := g.A.RemoveElement(op.Src, op.Dst); err != nil {
+				return err
+			}
+			if mirror && op.Src != op.Dst {
+				if err := g.A.RemoveElement(op.Dst, op.Src); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		is = append(is, op.Src)
+		js = append(js, op.Dst)
+		xs = append(xs, op.Weight)
+		if mirror && op.Src != op.Dst {
+			is = append(is, op.Dst)
+			js = append(js, op.Src)
+			xs = append(xs, op.Weight)
+		}
+	}
+	return flushAdds()
+}

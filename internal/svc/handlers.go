@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -87,9 +89,19 @@ type QueryResponse struct {
 	Trace      *obs.TraceDocument `json:"trace,omitempty"`
 }
 
-// errorBody is the JSON error envelope.
+// ErrorInfo is the uniform error payload every endpoint returns on
+// failure: a stable machine-readable code (mapped from the library's
+// sentinel taxonomy — the table lives in DESIGN.md), the human-readable
+// message, and whether retrying the identical request can succeed.
+type ErrorInfo struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// errorBody is the JSON error envelope: {"error":{...}}.
 type errorBody struct {
-	Error string `json:"error"`
+	Error ErrorInfo `json:"error"`
 }
 
 // writeJSON emits v with the given status and returns the status for the
@@ -105,33 +117,41 @@ func writeJSON(w http.ResponseWriter, code int, v any) int {
 
 // fail maps err onto an HTTP status and writes the error envelope.
 func fail(w http.ResponseWriter, err error) int {
-	return writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+	status, info := classify(err)
+	return writeJSON(w, status, errorBody{Error: info})
 }
 
-// statusFor maps the library's error taxonomy onto HTTP statuses.
-func statusFor(err error) int {
+// classify maps the library's error taxonomy onto the HTTP status and
+// the envelope's (code, retryable) pair. Retryable means "the identical
+// request can succeed later without the client changing anything":
+// load-shedding and deadlines qualify; validation failures, conflicts
+// and corruption do not.
+func classify(err error) (int, ErrorInfo) {
+	info := func(code string, retryable bool) ErrorInfo {
+		return ErrorInfo{Code: code, Message: err.Error(), Retryable: retryable}
+	}
 	switch {
 	case errors.Is(err, errQueueFull):
-		return http.StatusTooManyRequests // 429: admission gate full
+		return http.StatusTooManyRequests, info("queue_full", true) // 429: admission gate full
 	case errors.Is(err, catalog.ErrNotFound):
-		return http.StatusNotFound
+		return http.StatusNotFound, info("not_found", false)
 	case errors.Is(err, catalog.ErrExists):
-		return http.StatusConflict
+		return http.StatusConflict, info("already_exists", false)
 	case errors.Is(err, grb.ErrCanceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout // 504: deadline hit mid-query
+		return http.StatusGatewayTimeout, info("deadline_exceeded", true) // 504: deadline hit mid-query
 	case errors.Is(err, context.Canceled):
-		return 499 // client closed request (nginx convention)
+		return 499, info("client_closed_request", false) // nginx convention
 	case errors.Is(err, errNoPersistence):
-		return http.StatusNotImplemented // 501: daemon started without -data
+		return http.StatusNotImplemented, info("no_persistence", false) // 501: daemon started without -data
 	case errors.Is(err, grb.ErrCorrupt):
-		return http.StatusInternalServerError // durable copy failed integrity checks
+		return http.StatusInternalServerError, info("corrupt", false) // durable copy failed integrity checks
 	case errors.Is(err, lagraph.ErrBadArgument),
 		errors.Is(err, lagraph.ErrNotUndirected),
 		errors.Is(err, mmio.ErrFormat),
 		errors.Is(err, errBadRequest):
-		return http.StatusBadRequest
+		return http.StatusBadRequest, info("bad_request", false)
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, info("internal", false)
 	}
 }
 
@@ -239,12 +259,33 @@ func (s *Server) buildGraph(req *LoadRequest) (*lagraph.Graph, error) {
 	return lagraph.NewGraph(e.Matrix(), kind)
 }
 
-// handleList reports the registered names and catalog stats.
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) int {
-	return writeJSON(w, http.StatusOK, map[string]any{
-		"graphs": s.cat.Names(),
-		"stats":  s.cat.Stats(),
-	})
+// handleList reports the registered names (sorted — catalog.Names is
+// deterministic) and catalog stats, with keyset pagination: ?limit=N
+// caps the page and ?cursor=<name> resumes strictly after that name.
+// The cursor is a name, not an offset, so pages stay stable while
+// graphs are added or dropped between requests. next_cursor appears
+// exactly when the listing was truncated.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) int {
+	names := s.cat.Names()
+	q := r.URL.Query()
+	if cursor := q.Get("cursor"); cursor != "" {
+		names = names[sort.SearchStrings(names, cursor+"\x00"):]
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return fail(w, fmt.Errorf("%w: limit must be a positive integer, got %q", errBadRequest, raw))
+		}
+		limit = n
+	}
+	resp := map[string]any{"stats": s.cat.Stats()}
+	if limit > 0 && len(names) > limit {
+		names = names[:limit]
+		resp["next_cursor"] = names[len(names)-1]
+	}
+	resp["graphs"] = names
+	return writeJSON(w, http.StatusOK, resp)
 }
 
 // handleInfo reports one graph's cached properties (warming it if cold).

@@ -35,10 +35,11 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) int {
 	}
 	res, err := s.cfg.Persister.FlushDirty()
 	if err != nil {
-		// Partial failure: report what succeeded alongside the error so an
-		// operator can see which graphs are still volatile.
-		return writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"error":       err.Error(),
+		// Partial failure: the uniform envelope, extended with what DID
+		// succeed so an operator can see which graphs are still volatile.
+		status, info := classify(err)
+		return writeJSON(w, status, map[string]any{
+			"error":       info,
 			"snapshotted": res.Snapshotted,
 			"clean":       res.Clean,
 		})
@@ -69,6 +70,32 @@ func (s *Server) writeStoreMetrics(w io.Writer) {
 	p("lagraphd_store_loads_total %d\n", st.Loads)
 	p("# TYPE lagraphd_store_quarantined_total counter\n")
 	p("lagraphd_store_quarantined_total %d\n", st.Quarantined)
+
+	// WAL families appear only when the journal is attached, mirroring
+	// how the store families appear only with -data: the family set is
+	// stable per configuration.
+	jl := s.cfg.Persister.WAL()
+	if jl == nil {
+		return
+	}
+	ws := jl.Stats()
+	rs := s.cfg.Persister.ReplayStats()
+	p("# HELP lagraphd_wal_appends_total Edge batches journaled.\n# TYPE lagraphd_wal_appends_total counter\n")
+	p("lagraphd_wal_appends_total %d\n", ws.Appends)
+	p("# TYPE lagraphd_wal_append_bytes_total counter\n")
+	p("lagraphd_wal_append_bytes_total %d\n", ws.AppendBytes)
+	p("# TYPE lagraphd_wal_fsyncs_total counter\n")
+	p("lagraphd_wal_fsyncs_total %d\n", ws.Fsyncs)
+	p("# HELP lagraphd_wal_segments Journal segment files on disk.\n# TYPE lagraphd_wal_segments gauge\n")
+	p("lagraphd_wal_segments %d\n", ws.Segments)
+	p("# TYPE lagraphd_wal_next_lsn gauge\n")
+	p("lagraphd_wal_next_lsn %d\n", ws.NextLSN)
+	p("# TYPE lagraphd_wal_truncated_segments_total counter\n")
+	p("lagraphd_wal_truncated_segments_total %d\n", ws.Truncated)
+	p("# HELP lagraphd_wal_replayed_total Journal records applied at boot.\n# TYPE lagraphd_wal_replayed_total counter\n")
+	p("lagraphd_wal_replayed_total %d\n", rs.Applied)
+	p("# HELP lagraphd_wal_torn_bytes Bytes dropped from a torn tail at the last boot (crash mid-append, tolerated and logged).\n# TYPE lagraphd_wal_torn_bytes gauge\n")
+	p("lagraphd_wal_torn_bytes %d\n", ws.TornBytes)
 }
 
 // dropDurable mirrors a catalog drop into the store so a dropped graph

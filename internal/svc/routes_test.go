@@ -1,0 +1,234 @@
+package svc
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lagraph/internal/catalog"
+)
+
+// TestV1AndLegacySpellings proves every API route answers at both its /v1
+// spelling and its legacy alias, and that only the legacy spelling
+// carries the deprecation announcement.
+func TestV1AndLegacySpellings(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	loadGraph(t, ts.URL, "g", 4)
+
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/graphs", http.StatusOK},
+		{"GET", "/graphs/g", http.StatusOK},
+		{"POST", "/graphs/g/query", http.StatusOK},
+		{"POST", "/graphs/g/edges", http.StatusOK},
+	} {
+		for _, prefix := range []string{"", "/v1"} {
+			url := ts.URL + prefix + tc.path
+			var resp *http.Response
+			var err error
+			switch tc.method {
+			case "GET":
+				resp, err = http.Get(url)
+			case "POST":
+				body := `{"algo":"bfs","src":0}`
+				if tc.path == "/graphs/g/edges" {
+					body = `{"edges":[{"src":0,"dst":1}]}`
+				}
+				resp, err = http.Post(url, "application/json", strings.NewReader(body))
+			}
+			if err != nil {
+				t.Fatalf("%s %s: %v", tc.method, url, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("%s %s: status %d, want %d", tc.method, url, resp.StatusCode, tc.wantStatus)
+			}
+			dep := resp.Header.Get("Deprecation")
+			link := resp.Header.Get("Link")
+			if prefix == "/v1" {
+				if dep != "" || link != "" {
+					t.Errorf("%s %s: /v1 spelling must not carry deprecation headers (Deprecation=%q Link=%q)",
+						tc.method, url, dep, link)
+				}
+			} else {
+				if dep != "true" {
+					t.Errorf("%s %s: legacy spelling missing Deprecation header", tc.method, url)
+				}
+				want := fmt.Sprintf("</v1%s>; rel=\"successor-version\"", routePatternFor(tc.path))
+				if link != want {
+					t.Errorf("%s %s: Link = %q, want %q", tc.method, url, link, want)
+				}
+			}
+		}
+	}
+
+	// Operational endpoints stay unversioned: no /v1 alias, no headers.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/healthz must not be marked deprecated")
+	}
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/v1/healthz: status %d, want 404 (operational endpoints are unversioned)", resp.StatusCode)
+	}
+}
+
+// routePatternFor maps a concrete test path back to its route pattern.
+func routePatternFor(path string) string {
+	switch path {
+	case "/graphs/g":
+		return "/graphs/{name}"
+	case "/graphs/g/query":
+		return "/graphs/{name}/query"
+	case "/graphs/g/edges":
+		return "/graphs/{name}/edges"
+	default:
+		return path
+	}
+}
+
+// TestRouteTableCoversEndpointSet proves the route table and the metrics
+// label set cannot drift: every api+operational row uses a registered
+// endpoint label, and every label is used.
+func TestRouteTableCoversEndpointSet(t *testing.T) {
+	s := New(catalog.New(), nil, Config{})
+	api, operational := s.routes()
+	used := map[string]bool{}
+	for _, rt := range append(api, operational...) {
+		if _, ok := s.requests[rt.endpoint]; !ok {
+			t.Errorf("route %s %s uses unregistered endpoint label %q", rt.method, rt.pattern, rt.endpoint)
+		}
+		used[rt.endpoint] = true
+	}
+	for _, e := range endpoints {
+		if !used[e] {
+			t.Errorf("endpoint label %q has no route", e)
+		}
+	}
+}
+
+type listResponse struct {
+	Graphs     []string      `json:"graphs"`
+	NextCursor string        `json:"next_cursor"`
+	Stats      catalog.Stats `json:"stats"`
+}
+
+func TestListPagination(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	names := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for _, n := range names {
+		loadGraph(t, ts.URL, n, 3)
+	}
+
+	// Unpaginated: all names, sorted, no cursor.
+	var all listResponse
+	if code := get(t, ts.URL+"/v1/graphs", &all); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(all.Graphs) != len(names) || all.NextCursor != "" {
+		t.Fatalf("unpaginated list: %+v", all)
+	}
+	for i, n := range names {
+		if all.Graphs[i] != n {
+			t.Fatalf("list not sorted: %v", all.Graphs)
+		}
+	}
+
+	// Walk pages of 2 and reassemble the full listing.
+	var walked []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > len(names) {
+			t.Fatal("pagination does not terminate")
+		}
+		url := ts.URL + "/v1/graphs?limit=2"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var page listResponse
+		if code := get(t, url, &page); code != http.StatusOK {
+			t.Fatalf("page %d: %d", pages, code)
+		}
+		if len(page.Graphs) > 2 {
+			t.Fatalf("page %d exceeds limit: %v", pages, page.Graphs)
+		}
+		walked = append(walked, page.Graphs...)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != len(names) {
+		t.Fatalf("walked %v, want %v", walked, names)
+	}
+	for i, n := range names {
+		if walked[i] != n {
+			t.Fatalf("walked order %v, want %v", walked, names)
+		}
+	}
+
+	// A cursor past the last name yields an empty final page.
+	var empty listResponse
+	if code := get(t, ts.URL+"/v1/graphs?cursor=zulu", &empty); code != http.StatusOK {
+		t.Fatalf("past-end cursor: %d", code)
+	}
+	if len(empty.Graphs) != 0 || empty.NextCursor != "" {
+		t.Fatalf("past-end page: %+v", empty)
+	}
+
+	// Bad limits get the envelope, not a panic or a silent default.
+	for _, raw := range []string{"0", "-3", "x"} {
+		var eb errorBody
+		if code := get(t, ts.URL+"/v1/graphs?limit="+raw, &eb); code != http.StatusBadRequest {
+			t.Errorf("limit=%s: status %d, want 400", raw, code)
+		} else if eb.Error.Code != "bad_request" {
+			t.Errorf("limit=%s: code %q", raw, eb.Error.Code)
+		}
+	}
+}
+
+// TestErrorEnvelopeShape asserts representative codes across endpoints so
+// the envelope contract is pinned beyond the edges handler.
+func TestErrorEnvelopeShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	loadGraph(t, ts.URL, "g", 4)
+
+	check := func(name string, gotCode int, eb errorBody, wantStatus int, wantCode string, retryable bool) {
+		t.Helper()
+		if gotCode != wantStatus {
+			t.Errorf("%s: status %d want %d", name, gotCode, wantStatus)
+		}
+		if eb.Error.Code != wantCode || eb.Error.Retryable != retryable || eb.Error.Message == "" {
+			t.Errorf("%s: envelope %+v, want code=%q retryable=%v", name, eb.Error, wantCode, retryable)
+		}
+	}
+
+	var eb errorBody
+	code := get(t, ts.URL+"/v1/graphs/missing", &eb)
+	check("info missing", code, eb, http.StatusNotFound, "not_found", false)
+
+	eb = errorBody{}
+	code = post(t, ts.URL+"/v1/graphs", map[string]any{
+		"name": "g", "generator": map[string]any{"kind": "er", "scale": 3},
+	}, &eb)
+	check("duplicate load", code, eb, http.StatusConflict, "already_exists", false)
+
+	eb = errorBody{}
+	code = post(t, ts.URL+"/v1/graphs/g/query", map[string]any{"algo": "nonsense"}, &eb)
+	check("bad algo", code, eb, http.StatusBadRequest, "bad_request", false)
+
+	eb = errorBody{}
+	code = post(t, ts.URL+"/v1/admin/flush", nil, &eb)
+	check("flush w/o persistence", code, eb, http.StatusNotImplemented, "no_persistence", false)
+}

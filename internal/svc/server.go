@@ -102,8 +102,10 @@ type endpointStats struct {
 	lat    histogram
 }
 
-// endpoints is the fixed label set for per-endpoint metrics.
-var endpoints = []string{"load", "list", "info", "drop", "query", "snapshot", "flush", "healthz", "metrics"}
+// endpoints is the fixed label set for per-endpoint metrics. A request
+// counts under the same endpoint label whether it arrived via /v1 or a
+// legacy alias — the label identifies the operation, not the spelling.
+var endpoints = []string{"load", "list", "info", "drop", "query", "edges", "snapshot", "flush", "healthz", "metrics"}
 
 // New creates a server around cat. counters may be nil, in which case a
 // fresh obs.Counters is created; the caller is responsible for installing
@@ -134,19 +136,65 @@ func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 // Counters exposes the kernel-activity sink rendered by /metrics.
 func (s *Server) Counters() *obs.Counters { return s.counters }
 
-// Handler returns the route table.
+// route is one row of the API surface: an operation (the metrics label),
+// its method, its path pattern relative to the version prefix, and the
+// handler. Having the whole surface in one table is the point of the /v1
+// redesign — a new endpoint is one row, and the versioned and legacy
+// spellings can never drift apart because both are generated from it.
+type route struct {
+	method   string
+	pattern  string // e.g. "/graphs/{name}/query"
+	endpoint string // metrics label, from the endpoints set
+	handler  func(http.ResponseWriter, *http.Request) int
+}
+
+// routes returns the full API surface. /healthz and /metrics are
+// operational endpoints scraped by infrastructure; they stay unversioned
+// (and get no /v1 alias or Deprecation header).
+func (s *Server) routes() (api, operational []route) {
+	api = []route{
+		{"POST", "/graphs", "load", s.handleLoad},
+		{"GET", "/graphs", "list", s.handleList},
+		{"GET", "/graphs/{name}", "info", s.handleInfo},
+		{"DELETE", "/graphs/{name}", "drop", s.handleDrop},
+		{"POST", "/graphs/{name}/query", "query", s.handleQuery},
+		{"POST", "/graphs/{name}/edges", "edges", s.handleEdges},
+		{"POST", "/graphs/{name}/snapshot", "snapshot", s.handleSnapshot},
+		{"POST", "/admin/flush", "flush", s.handleFlush},
+	}
+	operational = []route{
+		{"GET", "/healthz", "healthz", s.handleHealthz},
+		{"GET", "/metrics", "metrics", s.handleMetrics},
+	}
+	return api, operational
+}
+
+// Handler builds the mux: every API route is registered under /v1 (the
+// canonical spelling) and at its legacy unversioned path, where the
+// response carries a Deprecation header plus a Link to the successor.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /graphs", s.instrument("load", s.handleLoad))
-	mux.HandleFunc("GET /graphs", s.instrument("list", s.handleList))
-	mux.HandleFunc("GET /graphs/{name}", s.instrument("info", s.handleInfo))
-	mux.HandleFunc("DELETE /graphs/{name}", s.instrument("drop", s.handleDrop))
-	mux.HandleFunc("POST /graphs/{name}/query", s.instrument("query", s.handleQuery))
-	mux.HandleFunc("POST /graphs/{name}/snapshot", s.instrument("snapshot", s.handleSnapshot))
-	mux.HandleFunc("POST /admin/flush", s.instrument("flush", s.handleFlush))
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	api, operational := s.routes()
+	for _, rt := range api {
+		mux.HandleFunc(rt.method+" /v1"+rt.pattern, s.instrument(rt.endpoint, rt.handler))
+		mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.endpoint, deprecated(rt.pattern, rt.handler)))
+	}
+	for _, rt := range operational {
+		mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.endpoint, rt.handler))
+	}
 	return mux
+}
+
+// deprecated wraps a legacy-path handler: the response announces the
+// deprecation (RFC 8594 style) and names the /v1 successor. Headers must
+// be set before the handler writes the status line.
+func deprecated(pattern string, h func(http.ResponseWriter, *http.Request) int) func(http.ResponseWriter, *http.Request) int {
+	successor := "/v1" + pattern
+	return func(w http.ResponseWriter, r *http.Request) int {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		return h(w, r)
+	}
 }
 
 // instrument wraps a handler with latency and status-class accounting.
