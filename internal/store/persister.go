@@ -309,6 +309,17 @@ func (p *Persister) SnapshotOne(name string) (SnapResult, error) {
 	p.mu.Lock()
 	rem := p.removed[name]
 	p.mu.Unlock()
+	// A graph that has never journaled a batch must not inherit WAL
+	// records of an earlier same-name incarnation: dropping a graph
+	// deletes its floors but leaves its records in the log, so a
+	// re-created graph snapshotted with Journal 0 would have the old
+	// records replayed onto it after a crash. Fencing the entry at the
+	// current log head before the pin makes this snapshot's floor exclude
+	// every pre-existing record — none of which can belong to an
+	// incarnation that has journaled nothing yet.
+	if p.jl != nil {
+		e.FenceJournalSeq(p.jl.NextLSN() - 1)
+	}
 	t0 := time.Now()
 	var buf bytes.Buffer
 	info, err := e.Snapshot(&buf)

@@ -319,6 +319,83 @@ func TestWALRecordsForDroppedGraphSkipOnReplay(t *testing.T) {
 	}
 }
 
+// TestRecreatedNameFencedFromOldWALRecords: dropping a graph deletes its
+// floors but leaves its records in the WAL. A graph re-created under the
+// same name must not have the old incarnation's records replayed onto it
+// after a crash — its baseline snapshot pins a floor fenced at the log
+// head, past everything the previous incarnation journaled.
+func TestRecreatedNameFencedFromOldWALRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, err := wal.Open(dir+"/wal", wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	p := NewPersister(st, cat)
+	p.AttachWAL(jl)
+
+	// First incarnation: baseline snapshot, two journaled batches, drop.
+	e1, err := cat.Add("g", testGraph(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SnapshotOne("g"); err != nil {
+		t.Fatal(err)
+	}
+	ingestBatch(t, p, e1, EdgeBatch{Name: "g", Ops: []EdgeOp{{Src: 0, Dst: 15, Weight: 7}}})
+	ingestBatch(t, p, e1, EdgeBatch{Name: "g", Ops: []EdgeOp{{Src: 1, Dst: 14, Weight: 3}}})
+	if err := cat.Drop("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Remove("g"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation, same name and dims: the old records would apply
+	// cleanly here — exactly the silent-corruption shape the fence stops.
+	e2, err := cat.Add("g", testGraph(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SnapshotOne("g"); err != nil {
+		t.Fatal(err)
+	}
+	ingestBatch(t, p, e2, EdgeBatch{Name: "g", Ops: []EdgeOp{{Src: 2, Dst: 13, Weight: 9}}})
+	want := graphBytes(t, mustSnapshotGraph(t, e2))
+
+	// Crash: the third batch lives only in the WAL. Reboot everything.
+	jl.Close()
+	cat2 := catalog.New()
+	p2 := NewPersister(Must(Open(dir)), cat2)
+	jl2, err := wal.Open(dir+"/wal", wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	p2.AttachWAL(jl2)
+	if _, err := p2.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	rs := p2.ReplayStats()
+	if rs.Applied != 1 || rs.SkippedFloor != 2 {
+		t.Fatalf("replay stats = %+v, want the old incarnation's 2 records below the floor and 1 applied", rs)
+	}
+	e3, err := cat2.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := graphBytes(t, mustSnapshotGraph(t, e3)); !bytes.Equal(got, want) {
+		t.Fatal("old incarnation's WAL records leaked into the re-created graph")
+	}
+	if e3.JournalSeq() != 3 {
+		t.Fatalf("recovered journal seq = %d, want 3", e3.JournalSeq())
+	}
+}
+
 func TestSnapshotSweepTruncatesDeadWALSegments(t *testing.T) {
 	dir := t.TempDir()
 	st, err := Open(dir)

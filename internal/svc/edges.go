@@ -46,7 +46,9 @@ type EdgesResponse struct {
 	// (absent on a volatile daemon).
 	LSN uint64 `json:"lsn,omitempty"`
 	// Durable reports whether the batch was fsynced to the journal
-	// before this response was written.
+	// before this response was written. False on a volatile daemon and
+	// under -wal-sync=false (the batch was journaled — LSN is set — but
+	// the append was not synced, so a crash may still lose it).
 	Durable bool `json:"durable"`
 	// Pending is the adjacency's buffered-tuple count after the batch:
 	// the §II-A deferral made observable (assembly happens at the next
@@ -149,7 +151,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) int {
 		return fail(w, err)
 	}
 	resp.Generation = e.Generation()
-	resp.Durable = resp.LSN > 0
+	// A nonzero LSN proves the batch is in the journal, but it is durable
+	// only if the append was actually fsynced (-wal-sync=false trades
+	// that away for tests and benchmarks).
+	resp.Durable = resp.LSN > 0 && p.WAL().Synced()
 	resp.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	return writeJSON(w, http.StatusOK, resp)
 }

@@ -196,7 +196,8 @@ func TestEdgesDupPolicies(t *testing.T) {
 
 // newDurableServer builds a server with a store and an attached WAL under
 // dir, running boot recovery (LoadAll + journal replay) first. Mirrors
-// the daemon's wiring in cmd/lagraphd.
+// the daemon's wiring in cmd/lagraphd, including fsync-on-commit — the
+// Durable:true assertions below must test the real contract.
 func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server, *wal.Log) {
 	t.Helper()
 	leakcheck.Check(t)
@@ -205,7 +206,7 @@ func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server, *wal
 	if err != nil {
 		t.Fatal(err)
 	}
-	jl, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{NoSync: true})
+	jl, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,6 +275,47 @@ func TestEdgesDurableCrashRecovery(t *testing.T) {
 	if postQuery.Checksum != preQuery.Checksum {
 		t.Fatalf("post-crash checksum %s != pre-crash %s (replay not identical)",
 			postQuery.Checksum, preQuery.Checksum)
+	}
+}
+
+// TestEdgesNoSyncNotDurable: with -wal-sync=false the batch is journaled
+// (LSN assigned) but never fsynced, so the response must not claim the
+// "fsynced before this response was written" contract.
+func TestEdgesNoSyncNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	leakcheck.Check(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jl.Close() })
+	cat := catalog.New()
+	p := store.NewPersister(st, cat)
+	p.AttachWAL(jl)
+	if _, err := p.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(cat, &obs.Counters{}, Config{Persister: p})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	loadGraph(t, ts.URL, "g", 4)
+	code, resp := postEdges(t, ts.URL, "g", map[string]any{
+		"edges": []map[string]any{{"src": 0, "dst": 1}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("edges: status %d", code)
+	}
+	if resp.LSN == 0 {
+		t.Fatalf("batch not journaled: %+v", resp)
+	}
+	if resp.Durable {
+		t.Fatalf("unsynced append claims durability: %+v", resp)
 	}
 }
 

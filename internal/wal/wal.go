@@ -157,6 +157,14 @@ type Log struct {
 	nextLSN  uint64    //grblint:guardedby mu
 	chain    digest    //grblint:guardedby mu // digest of the last appended record
 	closed   bool      //grblint:guardedby mu
+	// broken is set when a failed append could not be rolled back to the
+	// last acknowledged record boundary: the active segment holds partial
+	// bytes that cannot be removed, and writing past them would bury
+	// acknowledged records behind garbage the next boot's torn-tail scan
+	// would discard. Every further append refuses instead, so the damage
+	// stays a tail and recovery truncates it without losing anything
+	// acknowledged.
+	broken error //grblint:guardedby mu
 
 	rec RecoveryInfo // immutable after Open
 
@@ -343,20 +351,21 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: append: log closed")
 	}
+	if l.broken != nil {
+		return 0, fmt.Errorf("wal: append: log poisoned: %w", l.broken)
+	}
 	if err := l.ensureActiveLocked(); err != nil {
 		return 0, err
 	}
 	lsn := l.nextLSN
 	encoded := encodeRecord(lsn, l.chain, payload)
 	if _, err := l.active.Write(encoded); err != nil {
-		// Roll the file back to the record boundary so a partial write
-		// does not read as a torn tail on the next boot.
-		_ = l.active.Truncate(l.actSize)
+		l.rollbackLocked(err)
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if !l.opt.NoSync {
 		if err := l.active.Sync(); err != nil {
-			_ = l.active.Truncate(l.actSize)
+			l.rollbackLocked(err)
 			return 0, fmt.Errorf("wal: append sync: %w", err)
 		}
 		l.fsyncs.Add(1)
@@ -373,6 +382,25 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		l.sealActiveLocked()
 	}
 	return lsn, nil
+}
+
+// rollbackLocked rolls the active segment back to the last acknowledged
+// record boundary after a failed write or sync. Segments are opened with
+// O_APPEND, so a successful truncate is sufficient: the next write lands
+// at the new EOF, never at a stale file offset a partial write left
+// behind (which would leave a zero-filled gap that the next boot's
+// recovery treats as a torn tail, truncating away acknowledged records
+// after it). If the truncate itself fails the partial bytes cannot be
+// removed, so the log is poisoned instead of risking writes past them:
+// every further append refuses, the damage stays a tail, and the next
+// boot truncates it back to the last acknowledged record.
+//
+//grblint:locked mu
+func (l *Log) rollbackLocked(cause error) {
+	if err := l.active.Truncate(l.actSize); err != nil {
+		l.broken = fmt.Errorf("rollback to %d after %v failed: %w", l.actSize, cause, err)
+		l.sealActiveLocked()
+	}
 }
 
 // ensureActiveLocked opens (or creates) the segment appends will land in.
@@ -396,8 +424,11 @@ func (l *Log) ensureActiveLocked() error {
 	// Fresh segment: header first, synced before any record can land, so
 	// a crash leaves either no file, a truncated header (dropped at the
 	// next recovery) or a complete empty segment.
+	// O_APPEND on every segment (fresh and reopened): writes always land
+	// at EOF, so the append position survives a failed-write rollback
+	// (rollbackLocked) without any offset bookkeeping.
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", l.nextLSN))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -514,6 +545,12 @@ func (l *Log) TruncateBefore(lsn uint64) (int, error) {
 	}
 	return removed, nil
 }
+
+// Synced reports whether appends are fsynced before they return. False
+// only when Options.NoSync was set — a returned LSN is then an ordering
+// fact, not a durability promise, and callers surfacing durability to
+// their own clients must not claim it.
+func (l *Log) Synced() bool { return !l.opt.NoSync }
 
 // NextLSN returns the LSN the next append will be assigned.
 func (l *Log) NextLSN() uint64 {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -92,6 +93,87 @@ func TestReopenContinuesSequence(t *testing.T) {
 	appendN(t, l2, 11, 5)
 	if got := len(collect(t, l2, 1)); got != 15 {
 		t.Fatalf("replayed %d records after reopen+append, want 15", got)
+	}
+}
+
+// TestAppendRollbackKeepsBoundary: after a failed write leaves partial
+// bytes in the active segment, the rollback must restore the append
+// position to the last record boundary — a stale file offset would make
+// the next append leave a zero-filled gap that recovery reads as a torn
+// tail, discarding acknowledged records after it.
+func TestAppendRollbackKeepsBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := appendN(t, l, 1, 1)
+	// Simulate the Append error branch: partial bytes land in the active
+	// segment, then rollbackLocked runs (exactly what a failed write or
+	// sync triggers).
+	l.mu.Lock()
+	if _, err := l.active.Write([]byte("partial-garbage")); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.rollbackLocked(errors.New("injected write failure"))
+	l.mu.Unlock()
+
+	// The next append must land flush against record 1 — no gap.
+	payloads = append(payloads, appendN(t, l, 2, 1)...)
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after rollback: %v", err)
+	}
+	defer l2.Close()
+	if rec := l2.Recovery(); rec.Records != 2 || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want 2 clean records (rollback left a gap?)", rec)
+	}
+	recs := collect(t, l2, 1)
+	if len(recs) != 2 || !bytes.Equal(recs[1].Payload, payloads[1]) {
+		t.Fatalf("replay after rollback: %d records", len(recs))
+	}
+}
+
+// TestAppendPoisonedWhenRollbackFails: when the partial bytes cannot be
+// truncated away, the log must refuse further appends — writing past the
+// garbage would bury acknowledged records behind a tail the next boot
+// truncates.
+func TestAppendPoisonedWhenRollbackFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := appendN(t, l, 1, 1)
+	l.mu.Lock()
+	if _, err := l.active.Write([]byte{0xde, 0xad}); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.active.Close() // the rollback's truncate now fails
+	l.rollbackLocked(errors.New("injected sync failure"))
+	l.mu.Unlock()
+
+	if _, err := l.Append([]byte("after-poison")); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("append on a poisoned log: err = %v, want poisoned", err)
+	}
+	l.Close()
+
+	// The garbage stayed a tail: recovery truncates it, keeping record 1.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after poisoning: %v", err)
+	}
+	defer l2.Close()
+	rec := l2.Recovery()
+	if rec.Records != 1 || rec.TornBytes != 2 {
+		t.Fatalf("recovery = %+v, want 1 record + 2 torn bytes", rec)
+	}
+	recs := collect(t, l2, 1)
+	if len(recs) != 1 || !bytes.Equal(recs[0].Payload, payloads[0]) {
+		t.Fatalf("acknowledged record lost after poisoning: %d records", len(recs))
 	}
 }
 
