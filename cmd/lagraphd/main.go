@@ -6,6 +6,9 @@
 //
 //	lagraphd -addr :8487 -workers 8 -queue 32 -timeout 30s
 //	lagraphd -addr :8487 -data /var/lib/lagraphd -snapshot-interval 30s
+//	lagraphd -addr :8487 -data /var/lib/a -node-id a \
+//	    -peers a=http://h1:8487,b=http://h2:8487,c=http://h3:8487 \
+//	    -replicas 1 -route redirect
 //
 // With -data the daemon is durable: graphs are periodically snapshotted
 // to checksummed frame files (see internal/store), reloaded on boot, and
@@ -15,6 +18,17 @@
 // WAL-suffix replay and a kill -9 at any moment loses nothing that was
 // acknowledged — the fsync of the journal record is the durability point
 // (disable with -wal-sync=false to trade that for throughput).
+//
+// With -node-id and -peers the daemon is one member of a static-topology
+// cluster (requires -data): a consistent-hash ring places every graph on
+// a primary plus -replicas replicas, primaries ship snapshot frames and
+// live WAL records to replicas, and requests for graphs this node does
+// not own are routed to the owner — 307 redirects by default, or
+// transparently with -route proxy (mutations always redirect so the
+// primary fsync remains the durability point). The listener comes up
+// BEFORE boot recovery so /readyz can answer: it stays 503 (and
+// mutations answer 503 not_ready) until snapshot+WAL replay completes
+// and, in cluster mode, until the initial replica catch-up converged.
 //
 // Endpoints (canonical spellings under /v1; the legacy unversioned paths
 // still answer, with a Deprecation header):
@@ -27,7 +41,11 @@
 //	POST   /v1/graphs/{name}/edges     ingest an edge-mutation batch (journaled)
 //	POST   /v1/graphs/{name}/snapshot  persist one graph now (requires -data)
 //	POST   /v1/admin/flush             persist every dirty graph (requires -data)
+//	GET    /v1/cluster/topology        current membership document (cluster mode)
+//	POST   /v1/cluster/topology        install a higher-epoch document (rebalance)
+//	GET    /v1/cluster/status          per-graph replication positions
 //	GET    /healthz                    liveness
+//	GET    /readyz                     readiness (503 until recovery + catch-up)
 //	GET    /metrics                    Prometheus text format
 package main
 
@@ -41,10 +59,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"lagraph/internal/catalog"
+	"lagraph/internal/cluster"
 	"lagraph/internal/obs"
 	"lagraph/internal/store"
 	"lagraph/internal/svc"
@@ -62,7 +82,35 @@ func main() {
 	snapEvery := flag.Duration("snapshot-interval", 30*time.Second, "how often to snapshot dirty graphs (0 disables the background snapshotter; requires -data)")
 	walSync := flag.Bool("wal-sync", true, "fsync the edge journal on every accepted batch (requires -data; false trades durability for throughput)")
 	walSegBytes := flag.Int64("wal-segment-bytes", 0, "journal segment rotation size in bytes (0 = 64 MiB; requires -data)")
+	nodeID := flag.String("node-id", "", "this node's cluster member ID (enables cluster mode; requires -data and -peers)")
+	peers := flag.String("peers", "", "cluster membership as id=url,id=url,... (must include -node-id)")
+	replicas := flag.Int("replicas", 1, "replica copies per graph beyond the primary (cluster mode)")
+	route := flag.String("route", "redirect", "how non-owners answer reads for graphs they don't hold: redirect (307) or proxy")
+	clusterEpoch := flag.Uint64("cluster-epoch", 1, "epoch of the boot topology document (bump after a -peers change so restarted nodes agree)")
+	clusterPoll := flag.Duration("cluster-poll", 500*time.Millisecond, "replication sync-loop interval (cluster mode)")
 	flag.Parse()
+
+	if *route != "redirect" && *route != "proxy" {
+		fmt.Fprintf(os.Stderr, "lagraphd: -route must be redirect or proxy, got %q\n", *route)
+		os.Exit(2)
+	}
+	var topology *cluster.Topology
+	if *nodeID != "" || *peers != "" {
+		if *nodeID == "" || *peers == "" {
+			fmt.Fprintln(os.Stderr, "lagraphd: cluster mode needs both -node-id and -peers")
+			os.Exit(2)
+		}
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "lagraphd: cluster mode needs -data (replication streams the WAL)")
+			os.Exit(2)
+		}
+		t, err := parsePeers(*peers, *replicas, *clusterEpoch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lagraphd:", err)
+			os.Exit(2)
+		}
+		topology = t
+	}
 
 	// Kernel-level op records from every query flow into one process-wide
 	// Counters sink, rendered by /metrics.
@@ -71,6 +119,7 @@ func main() {
 
 	cat := catalog.New()
 	var pers *store.Persister
+	var jl *wal.Log
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)
 		if err != nil {
@@ -81,7 +130,7 @@ func main() {
 		// The edge journal lives beside the snapshots. Opening it first
 		// also runs its own recovery (chain verification, torn-tail
 		// truncation), so LoadAll below can replay the suffix.
-		jl, err := wal.Open(filepath.Join(*dataDir, "wal"), wal.Options{
+		jl, err = wal.Open(filepath.Join(*dataDir, "wal"), wal.Options{
 			SegmentBytes: *walSegBytes,
 			NoSync:       !*walSync,
 		})
@@ -95,6 +144,57 @@ func main() {
 			log.Printf("lagraphd: wal: dropped %d bytes of torn tail from %s (crash mid-append; tolerated)",
 				rec.TornBytes, rec.TornFile)
 		}
+	}
+
+	var node *cluster.Node
+	if topology != nil {
+		var err error
+		node, err = cluster.New(cluster.Config{
+			Self:      *nodeID,
+			Topology:  *topology,
+			Catalog:   cat,
+			Persister: pers,
+			Poll:      *clusterPoll,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lagraphd:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := svc.New(cat, counters, svc.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		AllowPathLoad:  *allowPath,
+		Persister:      pers,
+		Cluster:        node,
+		Route:          *route,
+		GateReady:      true,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The listener comes up before recovery so orchestrators see /healthz
+	// immediately and /readyz honestly: 503 while graphs are rebuilt
+	// (mutations are gated the same way; see svc.routeMutation).
+	errc := make(chan error, 1)
+	//grblint:ignore goroutine-lifecycle: ListenAndServe returns when Shutdown closes the listener; errc is buffered so the send never blocks
+	go func() {
+		log.Printf("lagraphd: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	if pers != nil {
 		// Boot-time recovery: replay every live snapshot, then the journal
 		// records beyond each snapshot's pinned offset. Corrupt files are
 		// quarantined to *.corrupt and logged — a damaged snapshot must
@@ -123,24 +223,16 @@ func main() {
 		log.Printf("lagraphd: durable store at %s (%d graphs, wal next LSN %d)",
 			*dataDir, len(cat.Names()), jl.NextLSN())
 	}
+	srv.MarkBootReady()
 
-	srv := svc.New(cat, counters, svc.Config{
-		Workers:        *workers,
-		Queue:          *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		AllowPathLoad:  *allowPath,
-		Persister:      pers,
-	})
-
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+	// The sync loop starts only after local recovery: peer status answers
+	// must reflect the recovered journal positions, not an empty catalog.
+	if node != nil {
+		node.Start(ctx)
+		defer node.Close()
+		log.Printf("lagraphd: cluster member %q (epoch %d, %d nodes, %d replicas, route=%s)",
+			*nodeID, topology.Epoch, len(topology.Nodes), topology.Replicas, *route)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	// Background snapshotter: every interval, persist graphs whose
 	// generation moved since their last durable write. Runs off the query
@@ -149,19 +241,16 @@ func main() {
 		go snapshotLoop(ctx, pers, *snapEvery)
 	}
 
-	errc := make(chan error, 1)
-	//grblint:ignore goroutine-lifecycle: ListenAndServe returns when Shutdown closes the listener; errc is buffered so the send never blocks
-	go func() {
-		log.Printf("lagraphd: listening on %s", *addr)
-		errc <- hs.ListenAndServe()
-	}()
-
 	select {
 	case <-ctx.Done():
-		// Graceful shutdown: stop accepting, let in-flight queries finish
-		// up to their own deadlines (bounded by max-timeout + slack), then
-		// flush dirty graphs so a clean stop loses nothing.
+		// Graceful shutdown: stop replicating first (so the flush below is
+		// not racing stream applies), then stop accepting, let in-flight
+		// queries finish up to their own deadlines (bounded by max-timeout
+		// + slack), then flush dirty graphs so a clean stop loses nothing.
 		log.Printf("lagraphd: signal received, draining")
+		if node != nil {
+			node.Close()
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
@@ -184,6 +273,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parsePeers turns "id=url,id=url,..." into a topology document. Every
+// node in the cluster must be started with an identical -peers string
+// (placement is a pure function of the document), so the format is kept
+// order-insensitive and strict: duplicates and malformed entries are
+// boot errors, not warnings.
+func parsePeers(spec string, replicas int, epoch uint64) (*cluster.Topology, error) {
+	t := &cluster.Topology{Epoch: epoch, Replicas: replicas}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		t.Nodes = append(t.Nodes, cluster.NodeInfo{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // snapshotLoop persists graphs whose generation moved since their last

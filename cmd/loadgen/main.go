@@ -24,11 +24,20 @@
 // results from its snapshots (and, for mut:* keys, from snapshot + WAL
 // replay).
 //
+// With a comma-separated -base list the target is a lagraphd cluster:
+// loadgen waits for every node's /readyz, round-robins the traffic over
+// all of them (followed 307s and proxied answers both count), then waits
+// for replication to converge (lagraphd_cluster_replication_lag 0 on
+// every node) and re-runs every query against every node directly —
+// each node must return the same checksum the mixed run produced,
+// whichever member computed it.
+//
 // Usage:
 //
 //	loadgen -base http://127.0.0.1:8487 -scale 10 -queries 64 -parallel 8
 //	loadgen -base ... -edges 32 -flush -checksums-out sums.json  # before kill -9
 //	loadgen -base ... -no-load -checksums-in sums.json           # after restart
+//	loadgen -base http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,7 +63,7 @@ type result struct {
 }
 
 func main() {
-	base := flag.String("base", "http://127.0.0.1:8487", "daemon base URL")
+	base := flag.String("base", "http://127.0.0.1:8487", "daemon base URL, or a comma-separated list to target a cluster")
 	scale := flag.Int("scale", 10, "generator scale for the test graph")
 	queries := flag.Int("queries", 64, "total queries to fire")
 	parallel := flag.Int("parallel", 8, "concurrent query workers")
@@ -68,8 +78,18 @@ func main() {
 	edgeOffset := flag.Int("edge-offset", 0, "offset added to batch indices, so successive runs ingest disjoint batches")
 	flag.Parse()
 
+	var bases []string
+	for _, b := range strings.Split(*base, ",") {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -base names no URLs")
+		os.Exit(2)
+	}
 	opts := options{
-		base: *base, name: *name, scale: *scale, queries: *queries,
+		bases: bases, name: *name, scale: *scale, queries: *queries,
 		parallel: *parallel, wait: *wait, noLoad: *noLoad, flush: *flush,
 		sumsOut: *sumsOut, sumsIn: *sumsIn,
 		edges: *edges, edgeBatch: *edgeBatch, edgeOffset: *edgeOffset,
@@ -82,7 +102,8 @@ func main() {
 }
 
 type options struct {
-	base, name      string
+	bases           []string
+	name            string
 	scale           int
 	queries         int
 	parallel        int
@@ -95,24 +116,32 @@ type options struct {
 }
 
 func run(opts options) error {
-	base, name := opts.base, opts.name
+	bases, name := opts.bases, opts.name
+	base := bases[0]
 	scale, queries, parallel, wait := opts.scale, opts.queries, opts.parallel, opts.wait
 	client := &http.Client{Timeout: 2 * time.Minute}
 
-	// 1. Wait for liveness.
+	// 1. Wait for liveness, then readiness, on every target: /readyz stays
+	// 503 while a daemon replays its snapshots+WAL or a cluster member is
+	// still catching its replicas up, and traffic fired into that window
+	// would measure the gate, not the service.
 	deadline := time.Now().Add(wait)
-	for {
-		resp, err := client.Get(base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == 200 {
-				break
+	for _, b := range bases {
+		for _, probe := range []string{"/healthz", "/readyz"} {
+			for {
+				resp, err := client.Get(b + probe)
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == 200 {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("%s not 200 on %s within %v: %v", probe, b, wait, err)
+				}
+				time.Sleep(200 * time.Millisecond)
 			}
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("daemon not healthy within %v: %v", wait, err)
-		}
-		time.Sleep(200 * time.Millisecond)
 	}
 
 	// 2. Versioning contract: the legacy spelling answers with a
@@ -176,17 +205,11 @@ func run(opts options) error {
 	}
 
 	// 4. Fire the query mix concurrently; every request must be 2xx.
-	// Queries alternate between the legacy and /v1 spellings; with -edges,
-	// deterministic edge batches against the mutation copy are interleaved
-	// into the same worker pool.
-	mix := []map[string]any{
-		{"algo": "bfs", "src": 0},
-		{"algo": "parents", "src": 0},
-		{"algo": "sssp", "src": 0},
-		{"algo": "pagerank"},
-		{"algo": "cc"},
-		{"algo": "tc"},
-	}
+	// Queries alternate between the legacy and /v1 spellings and
+	// round-robin over every base (against a cluster, the 307s and proxied
+	// answers are part of what is under test); with -edges, deterministic
+	// edge batches against the mutation copy are interleaved into the same
+	// worker pool.
 	n := 1 << opts.scale
 	// The job queue is filled and closed up front (it is small — one int
 	// per job), so the workers are plain drain-until-closed goroutines
@@ -208,11 +231,12 @@ func run(opts options) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				target := bases[i%len(bases)]
 				if i >= queries {
 					b := i - queries
 					r := result{algo: "edges"}
 					code, body, err := postJSON(client,
-						base+"/v1/graphs/"+mutName(name)+"/edges", edgeBatchBody(n, b+opts.edgeOffset, opts.edgeBatch))
+						target+"/v1/graphs/"+mutName(name)+"/edges", edgeBatchBody(n, b+opts.edgeOffset, opts.edgeBatch))
 					r.code, r.err = code, err
 					if err == nil && code != 200 {
 						r.err = fmt.Errorf("edge batch %d: status %d: %s", b, code, body)
@@ -221,13 +245,13 @@ func run(opts options) error {
 					results <- r
 					continue
 				}
-				q := mix[i%len(mix)]
+				q := queryMix[i%len(queryMix)]
 				prefix := "" // alternate spellings; both must serve the mix
 				if i%2 == 1 {
 					prefix = "/v1"
 				}
 				r := result{algo: q["algo"].(string)}
-				code, body, err := postJSON(client, base+prefix+"/graphs/"+name+"/query", q)
+				code, body, err := postJSON(client, target+prefix+"/graphs/"+name+"/query", q)
 				r.code, r.err = code, err
 				if err == nil && code == 200 {
 					var qr struct {
@@ -268,7 +292,7 @@ func run(opts options) error {
 		ok++
 	}
 	fmt.Printf("loadgen: %d/%d requests OK across %d algorithms (+%d edge batches)\n",
-		ok, total, len(mix), opts.edges)
+		ok, total, len(queryMix), opts.edges)
 
 	// Post-ingest verification of the mutation copy: its final state is a
 	// pure function of the batch set (batches are pairwise disjoint, and a
@@ -277,11 +301,29 @@ func run(opts options) error {
 	// mut:* keys and must survive a kill -9 via snapshot + WAL replay.
 	// The -no-load recovery run re-verifies whenever the daemon recovered
 	// the mutation copy, without needing -edges itself.
+	// Against a cluster, replication must converge BEFORE the mutation
+	// copy's reference state is recorded: right after the ingest burst,
+	// bases[0] may be a replica that has not applied the tail yet, and its
+	// answer would record a stale "agreed" state.
+	if len(bases) > 1 {
+		if err := clusterConverge(client, bases, wait); err != nil {
+			return err
+		}
+	}
 	if mutSums, err := verifyMut(client, base, mutName(name)); err != nil {
 		return err
 	} else {
 		for k, v := range mutSums {
 			sums[k] = v
+		}
+	}
+
+	// Cluster pass: every node must answer every query with the checksum
+	// the mixed run produced — bitwise identity across members is the
+	// whole point of shipping the WAL instead of re-running the generator.
+	if len(bases) > 1 {
+		if err := clusterIdentity(client, bases, name, sums); err != nil {
+			return err
 		}
 	}
 
@@ -320,34 +362,212 @@ func run(opts options) error {
 		fmt.Printf("loadgen: wrote %d checksums to %s\n", len(sums), opts.sumsOut)
 	}
 
-	// Flush the durable store so everything queried above is on disk
-	// before the caller kills the daemon.
+	// Flush the durable stores so everything queried above is on disk
+	// before the caller kills a daemon.
 	if opts.flush {
-		code, body, err := postJSON(client, base+"/admin/flush", nil)
-		if err != nil {
-			return fmt.Errorf("flush: %v", err)
+		for _, b := range bases {
+			code, body, err := postJSON(client, b+"/admin/flush", nil)
+			if err != nil {
+				return fmt.Errorf("flush %s: %v", b, err)
+			}
+			if code != 200 {
+				return fmt.Errorf("flush %s: status %d: %s", b, code, body)
+			}
+			fmt.Printf("loadgen: flushed %s: %s\n", b, bytes.TrimSpace(body))
 		}
-		if code != 200 {
-			return fmt.Errorf("flush: status %d: %s", code, body)
-		}
-		fmt.Printf("loadgen: flushed: %s\n", bytes.TrimSpace(body))
 	}
 
-	// 4. Validate /metrics: well-formed Prometheus text with the required
-	// families and coherent histograms.
-	resp, err := client.Get(base + "/metrics")
-	if err != nil {
-		return fmt.Errorf("metrics: %v", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		return fmt.Errorf("metrics: status %d", resp.StatusCode)
-	}
-	if err := svc.ValidateMetrics(resp.Body); err != nil {
-		return fmt.Errorf("metrics: %v", err)
+	// 5. Validate /metrics on every node: well-formed Prometheus text with
+	// the required families and coherent histograms.
+	for _, b := range bases {
+		resp, err := client.Get(b + "/metrics")
+		if err != nil {
+			return fmt.Errorf("metrics %s: %v", b, err)
+		}
+		err = svc.ValidateMetrics(resp.Body)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code != 200 {
+			return fmt.Errorf("metrics %s: status %d", b, code)
+		}
+		if err != nil {
+			return fmt.Errorf("metrics %s: %v", b, err)
+		}
 	}
 	fmt.Println("loadgen: /metrics validated")
 	return nil
+}
+
+// queryMix is the algorithm set every run exercises; clusterVerify
+// re-runs the same set per node so the checksums are comparable.
+var queryMix = []map[string]any{
+	{"algo": "bfs", "src": 0},
+	{"algo": "parents", "src": 0},
+	{"algo": "sssp", "src": 0},
+	{"algo": "pagerank"},
+	{"algo": "cc"},
+	{"algo": "tc"},
+}
+
+// clusterConverge blocks until replication converged on every node (or
+// the wait budget runs out).
+//
+// Convergence is judged across nodes, not per node: a replica's own lag
+// metric reads 0 until its next poll observes the primary's new head, so
+// right after an ingest burst a stale replica can look caught up to
+// itself. Comparing every replica's journal position and generation
+// against its primary's in the same round closes that window.
+func clusterConverge(client *http.Client, bases []string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		lagging, err := clusterLagging(client, bases)
+		if err == nil && lagging == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replication did not converge within %v: %s (%v)", wait, lagging, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// With journals agreed, every node's own lag gauge must read 0 too —
+	// this is the operator-facing signal CI greps for.
+	for _, b := range bases {
+		for {
+			body, err := getBody(client, b+"/metrics")
+			if err == nil &&
+				strings.Contains(body, "\nlagraphd_cluster_replication_lag 0\n") &&
+				strings.Contains(body, "\nlagraphd_cluster_ready 1\n") {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replication lag gauge on %s did not reach 0 within %v", b, wait)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// clusterIdentity queries every node for every recorded checksum and
+// requires bitwise-identical answers — served locally on owners, routed
+// on non-owners. The mutation copy's nedges/cc/tc (mut:* keys) are
+// re-checked the same way when present.
+func clusterIdentity(client *http.Client, bases []string, name string, sums map[string]string) error {
+	checks := 0
+	for _, b := range bases {
+		for _, q := range queryMix {
+			algo := q["algo"].(string)
+			want, have := sums[algo]
+			if !have {
+				continue
+			}
+			code, body, err := postJSON(client, b+"/v1/graphs/"+name+"/query", q)
+			if err != nil || code != 200 {
+				return fmt.Errorf("cluster %s %s: status %d: %v %s", b, algo, code, err, body)
+			}
+			var qr struct {
+				Checksum string `json:"checksum"`
+				Cluster  struct {
+					Role   string `json:"role"`
+					LagLSN uint64 `json:"lag_lsn"`
+				} `json:"cluster"`
+			}
+			if err := json.Unmarshal(body, &qr); err != nil {
+				return fmt.Errorf("cluster %s %s: %v", b, algo, err)
+			}
+			if qr.Checksum != want {
+				return fmt.Errorf("cluster divergence: %s answers %s with %s, cluster agreed on %s",
+					b, algo, qr.Checksum, want)
+			}
+			if qr.Cluster.LagLSN != 0 {
+				return fmt.Errorf("cluster %s %s: served with lag %d after convergence", b, algo, qr.Cluster.LagLSN)
+			}
+			checks++
+		}
+		if _, have := sums["mut:cc"]; have {
+			mutSums, err := verifyMut(client, b, mutName(name))
+			if err != nil {
+				return fmt.Errorf("cluster %s: %v", b, err)
+			}
+			for _, k := range []string{"mut:nedges", "mut:cc", "mut:tc"} {
+				if mutSums[k] != sums[k] {
+					return fmt.Errorf("cluster divergence: %s answers %s with %s, cluster agreed on %s",
+						b, k, mutSums[k], sums[k])
+				}
+			}
+			checks += 3
+		}
+	}
+	fmt.Printf("loadgen: cluster converged, %d checksums identical across %d nodes\n", checks, len(bases))
+	return nil
+}
+
+// clusterLagging polls /v1/cluster/status on every base and reports the
+// first replica whose journal position or generation disagrees with its
+// primary's ("" = fully converged). A replica whose primary is not among
+// the polled bases cannot be judged and counts as lagging — the caller
+// is expected to name every live node.
+func clusterLagging(client *http.Client, bases []string) (string, error) {
+	type graphPos struct {
+		Name       string `json:"name"`
+		Role       string `json:"role"`
+		Generation uint64 `json:"generation"`
+		Journal    uint64 `json:"journal"`
+	}
+	type status struct {
+		Node   string     `json:"node"`
+		Ready  bool       `json:"ready"`
+		Graphs []graphPos `json:"graphs"`
+	}
+	primaries := map[string]graphPos{}
+	type replica struct {
+		base string
+		g    graphPos
+	}
+	var replicas []replica
+	for _, b := range bases {
+		body, err := getBody(client, b+"/v1/cluster/status")
+		if err != nil {
+			return b + " unreachable", err
+		}
+		var st status
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			return b + " bad status", err
+		}
+		if !st.Ready {
+			return b + " not ready", nil
+		}
+		for _, g := range st.Graphs {
+			switch g.Role {
+			case "primary":
+				primaries[g.Name] = g
+			case "replica":
+				replicas = append(replicas, replica{base: b, g: g})
+			}
+		}
+	}
+	for _, r := range replicas {
+		p, ok := primaries[r.g.Name]
+		if !ok {
+			return fmt.Sprintf("%s replicates %q but no polled node is its primary", r.base, r.g.Name), nil
+		}
+		if r.g.Journal != p.Journal || r.g.Generation != p.Generation {
+			return fmt.Sprintf("%s lags on %q: journal %d gen %d, primary at %d gen %d",
+				r.base, r.g.Name, r.g.Journal, r.g.Generation, p.Journal, p.Generation), nil
+		}
+	}
+	return "", nil
+}
+
+// getBody fetches a URL and returns its body as a string (any status).
+func getBody(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }
 
 // mutName is the mutation copy's graph name.

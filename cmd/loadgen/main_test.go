@@ -26,7 +26,7 @@ func TestRunAgainstRealService(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	err := run(options{
-		base: ts.URL, name: "loadgen-test", scale: 5,
+		bases: []string{ts.URL}, name: "loadgen-test", scale: 5,
 		queries: 24, parallel: 4, wait: 2 * time.Second,
 	})
 	if err != nil {
@@ -40,7 +40,7 @@ func TestRunReportsUnhealthyDaemon(t *testing.T) {
 	leakcheck.Check(t)
 	ts := httptest.NewServer(http.NotFoundHandler())
 	ts.Close()
-	err := run(options{base: ts.URL, wait: 100 * time.Millisecond})
+	err := run(options{bases: []string{ts.URL}, wait: 100 * time.Millisecond})
 	if err == nil {
 		t.Fatal("run against a dead daemon succeeded")
 	}

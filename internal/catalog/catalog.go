@@ -45,6 +45,11 @@ var (
 	ErrNotFound = errors.New("catalog: graph not found")
 	// ErrExists is returned by Add when the name is already registered.
 	ErrExists = errors.New("catalog: graph already registered")
+	// ErrReadOnly is returned by Update/Ingest on a replica entry: a graph
+	// this node holds as a replication follower accepts mutations only
+	// through the replication apply path (Replicate); direct writes must
+	// go to the primary.
+	ErrReadOnly = errors.New("catalog: graph is a read-only replica")
 )
 
 // Stats aggregates catalog-wide activity counters.

@@ -1,12 +1,38 @@
 package catalog
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
 
 	"lagraph/internal/lagraph"
 )
+
+// Role places an entry in a cluster: RoleNone on a single-node daemon,
+// RolePrimary when this node owns the graph's write path, RoleReplica
+// when the graph is a read-only replication follower here.
+type Role int32
+
+// Entry roles. The zero value (RoleNone) is the pre-cluster behavior.
+const (
+	RoleNone Role = iota
+	RolePrimary
+	RoleReplica
+)
+
+// String renders the role for JSON surfaces ("" for RoleNone, so
+// single-node responses are byte-identical to the pre-cluster daemon).
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleReplica:
+		return "replica"
+	default:
+		return ""
+	}
+}
 
 // Properties is the cached, cheaply observable state of an entry: the
 // structural facts algorithms and operators keep asking for, computed
@@ -27,6 +53,14 @@ type Properties struct {
 	Generation uint64 `json:"generation"`
 	// Warm reports whether the lazy caches are currently materialized.
 	Warm bool `json:"warm"`
+	// Role is the entry's cluster placement role ("primary" | "replica";
+	// empty on a single-node daemon, keeping pre-cluster responses
+	// unchanged).
+	Role string `json:"role,omitempty"`
+	// ReplicaLag is the replication-lag LSN of a replica entry: how many
+	// journal records the source primary has applied beyond this copy.
+	// Zero when caught up (and always zero for non-replicas).
+	ReplicaLag uint64 `json:"replica_lag,omitempty"`
 }
 
 // Entry wraps one registered graph with the reader/writer protocol
@@ -46,8 +80,18 @@ type Entry struct {
 	// last edge batch applied to this entry (0 = never mutated through the
 	// streaming write path). Atomic for the same reason as gen; advanced
 	// only under the exclusive lock (inside Ingest) or before publication
-	// (boot recovery).
+	// (boot recovery). On a replica entry the value lives in the SOURCE
+	// primary's LSN space — it is the replication position, not a local
+	// journal offset.
 	jseq atomic.Uint64
+	// role is the entry's cluster placement (stored as int32 so the
+	// routing hot path reads it lock-free). RoleReplica turns the entry
+	// read-only for Update/Ingest; only Replicate may mutate it.
+	role atomic.Int32
+	// srcHead is the source primary's last observed journal position for
+	// this graph (replica entries only; the sync loop advances it). The
+	// replication-lag LSN is srcHead - jseq, clamped at zero.
+	srcHead atomic.Uint64
 
 	// warm-time flags (valid while warm is true, kept until next Update
 	// so Properties of a cold entry can still report the last-known
@@ -89,6 +133,9 @@ func (e *Entry) View(fn func(g *lagraph.Graph) error) error {
 //
 //grblint:holdslock mu
 func (e *Entry) Update(fn func(g *lagraph.Graph) error) error {
+	if e.Role() == RoleReplica {
+		return fmt.Errorf("%w: %q", ErrReadOnly, e.name)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	err := fn(e.g)
@@ -118,6 +165,25 @@ func (e *Entry) Update(fn func(g *lagraph.Graph) error) error {
 //
 //grblint:holdslock mu
 func (e *Entry) Ingest(fn func(g *lagraph.Graph) (mutated bool, err error)) error {
+	if e.Role() == RoleReplica {
+		return fmt.Errorf("%w: %q", ErrReadOnly, e.name)
+	}
+	return e.ingest(fn)
+}
+
+// Replicate is the replication apply path: identical locking and
+// publication semantics to Ingest, but permitted on replica entries. The
+// cluster sync loop is its only intended caller — it applies journal
+// records shipped from the graph's primary, which is exactly the one
+// mutation source a read-only replica must still accept.
+//
+//grblint:holdslock mu
+func (e *Entry) Replicate(fn func(g *lagraph.Graph) (mutated bool, err error)) error {
+	return e.ingest(fn)
+}
+
+//grblint:holdslock mu
+func (e *Entry) ingest(fn func(g *lagraph.Graph) (mutated bool, err error)) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	mutated, err := fn(e.g)
@@ -128,6 +194,32 @@ func (e *Entry) Ingest(fn func(g *lagraph.Graph) (mutated bool, err error)) erro
 		e.cat.ingests.Add(1)
 	}
 	return err
+}
+
+// SetRole places the entry in the cluster (RoleReplica turns it
+// read-only). Lock-free: the routing layer flips roles on topology
+// changes while queries run.
+func (e *Entry) SetRole(r Role) { e.role.Store(int32(r)) }
+
+// Role returns the entry's cluster placement role.
+func (e *Entry) Role() Role { return Role(e.role.Load()) }
+
+// SetSourceHead records the source primary's journal position for this
+// graph (replica entries; advanced by the sync loop as it polls).
+func (e *Entry) SetSourceHead(lsn uint64) { e.srcHead.Store(lsn) }
+
+// ReplicaLag returns the replication-lag LSN: journal records the source
+// primary holds beyond this copy. Zero when caught up, and always zero
+// for non-replica entries.
+func (e *Entry) ReplicaLag() uint64 {
+	if e.Role() != RoleReplica {
+		return 0
+	}
+	head, applied := e.srcHead.Load(), e.jseq.Load()
+	if head <= applied {
+		return 0
+	}
+	return head - applied
 }
 
 // SetJournalSeq records the WAL sequence number of the last edge batch
@@ -172,6 +264,8 @@ func (e *Entry) Properties() Properties {
 			Symmetric:  e.symmetric,
 			Generation: e.gen.Load(),
 			Warm:       e.warm,
+			Role:       e.Role().String(),
+			ReplicaLag: e.ReplicaLag(),
 		}
 		return nil
 	})

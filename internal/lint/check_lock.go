@@ -31,12 +31,15 @@ import (
 //     (`s := &Store{…}` in the same function) are exempt: nothing else
 //     can see them yet.
 //
-//  2. Lock ordering, catalog before store. In the store package, no call
-//     into the catalog package may happen while a store-layer mutex is
-//     held. The established order is catalog→store (an entry callback may
-//     trigger a snapshot save); a catalog call under the store or
-//     persister mutex closes the cycle and is one blocked writer away
-//     from deadlock.
+//  2. Lock ordering, per the repo-wide order cluster → catalog → store.
+//     The lockOrderForbidden table names, per package, the packages it
+//     must not call into while one of its own mutexes is held: store
+//     code must not call the catalog under a store-layer lock (an entry
+//     callback may trigger a snapshot save; the reverse closes the cycle
+//     and is one blocked writer away from deadlock), and cluster code
+//     must never call back into svc while holding the ring mutex (svc
+//     calls into cluster on every routed request; re-entry under mu
+//     would deadlock).
 func lockDisciplineCheck() *Check {
 	return &Check{
 		Name: "lock-discipline",
@@ -54,6 +57,18 @@ var (
 	lockedRe    = regexp.MustCompile(`grblint:locked\s+([A-Za-z_][A-Za-z0-9_]*)`)
 	holdslockRe = regexp.MustCompile(`grblint:holdslock\s+([A-Za-z_][A-Za-z0-9_]*)(\s+read)?`)
 )
+
+// lockOrderForbidden is the repo's lock-order table: package name → the
+// import-path suffixes it must not call into while holding any of its
+// own mutexes. The order is cluster → catalog → store, so store may not
+// re-enter the catalog under lock, and cluster — whose ring mutex sits
+// outermost and is taken on every routed request — may not call back
+// into svc at all while holding it. (Calls the other way down the order,
+// e.g. cluster → catalog under the ring mutex, are legal by design.)
+var lockOrderForbidden = map[string][]string{
+	"store":   {"/catalog"},
+	"cluster": {"/svc"},
+}
 
 // guardKey identifies one guarded field: the named struct and field name.
 type guardKey struct {
@@ -73,7 +88,7 @@ func runLockDiscipline(p *Package, r *Reporter) {
 	guards := collectGuards(p, r)
 	holds := collectHoldslock(p)
 
-	inStorePkg := p.Name == "store"
+	forbidden := lockOrderForbidden[p.Name]
 
 	// Walk every function declaration; func literals inside are analyzed
 	// as their own contexts, with holdslock grants attached when the
@@ -92,7 +107,7 @@ func runLockDiscipline(p *Package, r *Reporter) {
 					}
 				}
 			}
-			analyzeLockContext(p, r, fd.Body, grants, guards, holds, inStorePkg)
+			analyzeLockContext(p, r, fd.Body, grants, guards, holds, forbidden)
 		}
 	}
 }
@@ -176,7 +191,7 @@ func collectHoldslock(p *Package) map[guardKey]lockGrant {
 // Nested literals are dispatched recursively with their own grant sets and
 // are skipped by the enclosing walk.
 func analyzeLockContext(p *Package, r *Reporter, body *ast.BlockStmt, grants []lockGrant,
-	guards map[guardKey]string, holds map[guardKey]lockGrant, inStorePkg bool) {
+	guards map[guardKey]string, holds map[guardKey]lockGrant, forbidden []string) {
 
 	// Pass 1 over this context only: lock/unlock events, fresh locals,
 	// write targets, nested literals (with any holdslock grants they earn).
@@ -288,7 +303,7 @@ func analyzeLockContext(p *Package, r *Reporter, body *ast.BlockStmt, grants []l
 	walk = func(n ast.Node) {
 		ast.Inspect(n, func(n ast.Node) bool {
 			if lit, ok := n.(*ast.FuncLit); ok {
-				analyzeLockContext(p, r, lit.Body, nested[lit], guards, holds, inStorePkg)
+				analyzeLockContext(p, r, lit.Body, nested[lit], guards, holds, forbidden)
 				return false
 			}
 			sel, ok := n.(*ast.SelectorExpr)
@@ -326,9 +341,10 @@ func analyzeLockContext(p *Package, r *Reporter, body *ast.BlockStmt, grants []l
 	}
 	walk(body)
 
-	// Lock-ordering rule: in the store package, no catalog call while any
-	// store-layer mutex is held in this context.
-	if inStorePkg {
+	// Lock-ordering rule: no call into a forbidden package (per the
+	// lockOrderForbidden table) while any of this package's mutexes is
+	// held in this context.
+	if len(forbidden) > 0 {
 		ast.Inspect(body, func(n ast.Node) bool {
 			if _, ok := n.(*ast.FuncLit); ok {
 				return false // own context, already analyzed
@@ -342,7 +358,16 @@ func analyzeLockContext(p *Package, r *Reporter, body *ast.BlockStmt, grants []l
 				return true
 			}
 			obj := p.Info.Uses[sel.Sel]
-			if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "/catalog") {
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			target := ""
+			for _, suffix := range forbidden {
+				if strings.HasSuffix(obj.Pkg().Path(), suffix) {
+					target = strings.TrimPrefix(suffix, "/")
+				}
+			}
+			if target == "" {
 				return true
 			}
 			heldHere := false
@@ -370,8 +395,8 @@ func analyzeLockContext(p *Package, r *Reporter, body *ast.BlockStmt, grants []l
 			}
 			if heldHere {
 				r.Reportf(call.Pos(),
-					"calls catalog.%s while holding a store-layer mutex; lock order is catalog→store — release the lock (snapshot the state you need) before calling into the catalog",
-					sel.Sel.Name)
+					"calls %s.%s while holding a %s-layer mutex; the lock order (cluster→catalog→store, svc outside it) forbids %s code from entering %s under lock — release the lock (snapshot the state you need) first",
+					target, sel.Sel.Name, p.Name, p.Name, target)
 			}
 			return true
 		})

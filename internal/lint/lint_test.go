@@ -69,8 +69,8 @@ func TestFixtures(t *testing.T) {
 	loader := sharedLoader(t)
 	fixtures := []string{
 		"determinism", "pending", "atomicfields", "purity", "errdiscipline", "format",
-		"lockdiscipline", "lockorder", "goroutine", "ctxplumb", "allocbounds",
-		"deprecated",
+		"lockdiscipline", "lockorder", "clusterorder", "goroutine", "ctxplumb",
+		"allocbounds", "deprecated",
 	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,39 @@
+// Package cluster exercises the cluster→svc lock-ordering rule: cluster
+// code must never call back into the service layer while holding the
+// ring mutex. svc enters cluster on every routed request, so re-entry
+// under mu is a lock-order inversion one queued request away from
+// deadlock.
+package cluster
+
+import (
+	"sync"
+
+	"lagraph/internal/lint/testdata/svc"
+)
+
+// Node mirrors the ring-mutex shape of internal/cluster.Node.
+type Node struct {
+	mu     sync.Mutex
+	graphs []string //grblint:guardedby mu
+}
+
+// RebalanceBad notifies the service layer while still holding the ring
+// mutex.
+func (n *Node) RebalanceBad() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, g := range n.graphs {
+		svc.Invalidate(g) // WANT lock-discipline
+	}
+}
+
+// RebalanceGood snapshots the placement under the lock, releases it, and
+// only then tells the service layer.
+func (n *Node) RebalanceGood() {
+	n.mu.Lock()
+	snap := append([]string(nil), n.graphs...)
+	n.mu.Unlock()
+	for _, g := range snap {
+		svc.Invalidate(g)
+	}
+}

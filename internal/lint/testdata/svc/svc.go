@@ -1,0 +1,9 @@
+// Package svc is a type-checking stub for the cluster→svc lock-ordering
+// fixture. The ordering rule keys off the "/svc" import-path suffix, so
+// this testdata package triggers it exactly like the real one (which the
+// real cluster package cannot import without a cycle — the fixture is
+// the mechanical proof the rule fires).
+package svc
+
+// Invalidate drops cached routing state for a graph.
+func Invalidate(name string) {}

@@ -240,6 +240,22 @@ func (p *Persister) MarkApplied(name string, lsn uint64) {
 	p.mu.Unlock()
 }
 
+// ResetJournalFloor overwrites the named graph's journal bookkeeping with
+// lsn, unconditionally. The cluster layer calls it when a graph changes
+// LSN space: installing a shipped snapshot on a replica (the floor moves
+// into the source primary's space) or adopting a moved graph as the new
+// primary (the floor rebases onto the local log head, because this node
+// is now the single writer and all shipped history is baked into the
+// adopted snapshot). The unconditional overwrite is the point — the old
+// value belongs to a different log and comparing against it would be
+// meaningless.
+func (p *Persister) ResetJournalFloor(name string, lsn uint64) {
+	p.mu.Lock()
+	p.journal[name] = lsn
+	p.applied[name] = lsn
+	p.mu.Unlock()
+}
+
 // HasDurable reports whether the named graph has a durable snapshot. The
 // edges handler consults it to force a baseline snapshot before the
 // FIRST journaled batch of a freshly loaded graph — without one, the
@@ -316,8 +332,11 @@ func (p *Persister) SnapshotOne(name string) (SnapResult, error) {
 	// records replayed onto it after a crash. Fencing the entry at the
 	// current log head before the pin makes this snapshot's floor exclude
 	// every pre-existing record — none of which can belong to an
-	// incarnation that has journaled nothing yet.
-	if p.jl != nil {
+	// incarnation that has journaled nothing yet. Replica entries are
+	// exempt: their journal mark lives in the SOURCE primary's LSN space
+	// (it is the replication position), and fencing it against the local
+	// log head would splice two unrelated LSN spaces together.
+	if p.jl != nil && e.Role() != catalog.RoleReplica {
 		e.FenceJournalSeq(p.jl.NextLSN() - 1)
 	}
 	t0 := time.Now()

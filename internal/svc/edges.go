@@ -69,7 +69,14 @@ type EdgesResponse struct {
 // path operates on stored entries), so remove-heavy batches pay the
 // materialization cost; add-only batches are O(batch).
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) int {
-	e, err := s.cat.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	// Cluster routing precedes the catalog lookup: a non-primary may not
+	// hold the graph at all, and 307 with the body unread lets the
+	// client re-POST the batch to the primary verbatim.
+	if st, done := s.routeMutation(w, r, name); done {
+		return st
+	}
+	e, err := s.cat.Get(name)
 	if err != nil {
 		return fail(w, err)
 	}

@@ -87,6 +87,9 @@ type QueryResponse struct {
 	Result     map[string]any     `json:"result"`
 	Checksum   string             `json:"checksum,omitempty"`
 	Trace      *obs.TraceDocument `json:"trace,omitempty"`
+	// Cluster annotates the response with this node's placement role for
+	// the graph and its replication lag (cluster mode only).
+	Cluster *QueryClusterInfo `json:"cluster,omitempty"`
 }
 
 // ErrorInfo is the uniform error payload every endpoint returns on
@@ -137,6 +140,10 @@ func classify(err error) (int, ErrorInfo) {
 		return http.StatusNotFound, info("not_found", false)
 	case errors.Is(err, catalog.ErrExists):
 		return http.StatusConflict, info("already_exists", false)
+	case errors.Is(err, catalog.ErrReadOnly):
+		return http.StatusConflict, info("read_only", false) // 409: replica write — the primary is elsewhere
+	case errors.Is(err, errNotReady):
+		return http.StatusServiceUnavailable, info("not_ready", true) // 503: boot or replica catch-up in progress
 	case errors.Is(err, grb.ErrCanceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, info("deadline_exceeded", true) // 504: deadline hit mid-query
 	case errors.Is(err, context.Canceled):
@@ -167,6 +174,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) int {
 	}
 	if req.Name == "" {
 		return fail(w, fmt.Errorf("%w: name required", errBadRequest))
+	}
+	// Cluster routing happens after the body decode (the name lives in
+	// it): 307 sends the client, body and all, to the graph's primary.
+	if st, done := s.routeMutation(w, r, req.Name); done {
+		return st
 	}
 	// Graph construction is real work: run it under the admission gate so
 	// a burst of uploads cannot starve queries.
@@ -285,13 +297,35 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) int {
 		resp["next_cursor"] = names[len(names)-1]
 	}
 	resp["graphs"] = names
+	// Cluster mode annotates the same page with placement: where the
+	// ring puts each graph and what this node holds (role + lag). The
+	// keyset cursor is unchanged — single-node responses stay identical.
+	if n := s.cfg.Cluster; n != nil {
+		pls := make([]listPlacement, 0, len(names))
+		for _, name := range names {
+			pl := listPlacement{Name: name}
+			if owners := n.Placement(name); len(owners) > 0 {
+				pl.Primary = owners[0].ID
+			}
+			if e, err := s.cat.Get(name); err == nil {
+				pl.Role = e.Role().String()
+				pl.LagLSN = e.ReplicaLag()
+			}
+			pls = append(pls, pl)
+		}
+		resp["placements"] = pls
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
 // handleInfo reports one graph's cached properties (warming it if cold).
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) int {
-	e, err := s.cat.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	e, err := s.cat.Get(name)
 	if err != nil {
+		if st, done := s.routeRead(w, r, name); done {
+			return st
+		}
 		return fail(w, err)
 	}
 	return writeJSON(w, http.StatusOK, e.Properties())
@@ -305,13 +339,26 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) int {
 // store, answering 404 only when the name is unknown to both.
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) int {
 	name := r.PathValue("name")
-	dropErr := s.cat.Drop(name)
+	if st, done := s.routeMutation(w, r, name); done {
+		return st
+	}
+	var dropErr error
+	var removed bool
+	var removeErr error
+	if cl := s.cfg.Cluster; cl != nil {
+		// The cluster drop is atomic under the ring mutex: tombstone,
+		// catalog drop and durable removal together, so the sync loop
+		// cannot re-adopt the name from a replica mid-drop.
+		dropErr, removed, removeErr = cl.DropGraph(name)
+	} else {
+		dropErr = s.cat.Drop(name)
+		removed, removeErr = s.dropDurable(name)
+	}
 	if dropErr != nil && !errors.Is(dropErr, catalog.ErrNotFound) {
 		return fail(w, dropErr)
 	}
-	removed, err := s.dropDurable(name)
-	if err != nil {
-		return fail(w, err)
+	if removeErr != nil {
+		return fail(w, removeErr)
 	}
 	if dropErr != nil && !removed {
 		return fail(w, dropErr)
@@ -322,8 +369,14 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) int {
 
 // handleQuery admits, deadlines and dispatches one algorithm run.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
-	e, err := s.cat.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	e, err := s.cat.Get(name)
 	if err != nil {
+		// No local copy: in cluster mode a non-owner forwards the query
+		// to the primary (307 or proxy, per -route); owners answer 404.
+		if st, done := s.routeRead(w, r, name); done {
+			return st
+		}
 		return fail(w, err)
 	}
 	var req QueryRequest
@@ -341,6 +394,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 	resp, err := s.runQuery(ctx, e, &req)
 	if err != nil {
 		return fail(w, err)
+	}
+	if s.cfg.Cluster != nil {
+		resp.Cluster = &QueryClusterInfo{Role: e.Role().String(), LagLSN: e.ReplicaLag()}
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -545,6 +601,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	}
 
 	s.writeStoreMetrics(w)
+	s.writeClusterMetrics(w)
 
 	p("# HELP lagraphd_http_requests_total Requests by endpoint and status class.\n# TYPE lagraphd_http_requests_total counter\n")
 	for _, ep := range endpoints {

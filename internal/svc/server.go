@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lagraph/internal/catalog"
+	"lagraph/internal/cluster"
 	"lagraph/internal/obs"
 	"lagraph/internal/store"
 )
@@ -53,6 +54,21 @@ type Config struct {
 	// drops into the store, and adds lagraphd_store_* metric families.
 	// Nil runs the daemon volatile, exactly as before persistence existed.
 	Persister *store.Persister
+	// Cluster, when non-nil, runs the daemon as one member of a
+	// multi-node deployment: mutations are routed to each graph's ring
+	// primary (307 + Location), replica-held graphs serve read-only
+	// queries locally, reads of graphs this node does not hold are
+	// forwarded per Route, the cluster wire protocol mounts under
+	// /v1/cluster/, and the lagraphd_cluster_* metric families appear.
+	Cluster *cluster.Node
+	// Route picks how reads of non-local graphs are forwarded in cluster
+	// mode: "redirect" (default; 307 to the primary) or "proxy" (this
+	// node relays the request and response).
+	Route string
+	// GateReady starts /readyz at 503 until MarkBootReady is called
+	// (after boot snapshot loads + WAL replay). Off by default so tests
+	// and library users are ready immediately.
+	GateReady bool
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxGraphBytes <= 0 {
 		c.MaxGraphBytes = 256 << 20
+	}
+	if c.Route == "" {
+		c.Route = "redirect"
 	}
 	return c
 }
@@ -90,6 +109,10 @@ type Server struct {
 	inflight atomic.Int64  // requests holding a slot
 	rejected atomic.Int64  // 429s issued
 
+	// bootReady reports that boot recovery completed (/readyz gates on
+	// it when cfg.GateReady; starts true otherwise).
+	bootReady atomic.Bool
+
 	// Per-endpoint request counters (endpoint → status class) and
 	// latency histograms. The endpoint set is fixed at construction, so
 	// the maps are read-only after New and need no lock.
@@ -105,7 +128,7 @@ type endpointStats struct {
 // endpoints is the fixed label set for per-endpoint metrics. A request
 // counts under the same endpoint label whether it arrived via /v1 or a
 // legacy alias — the label identifies the operation, not the spelling.
-var endpoints = []string{"load", "list", "info", "drop", "query", "edges", "snapshot", "flush", "healthz", "metrics"}
+var endpoints = []string{"load", "list", "info", "drop", "query", "edges", "snapshot", "flush", "healthz", "readyz", "metrics", "cluster"}
 
 // New creates a server around cat. counters may be nil, in which case a
 // fresh obs.Counters is created; the caller is responsible for installing
@@ -126,6 +149,9 @@ func New(cat *catalog.Catalog, counters *obs.Counters, cfg Config) *Server {
 	}
 	for _, e := range endpoints {
 		s.requests[e] = &endpointStats{}
+	}
+	if !cfg.GateReady {
+		s.bootReady.Store(true)
 	}
 	return s
 }
@@ -164,6 +190,7 @@ func (s *Server) routes() (api, operational []route) {
 	}
 	operational = []route{
 		{"GET", "/healthz", "healthz", s.handleHealthz},
+		{"GET", "/readyz", "readyz", s.handleReadyz},
 		{"GET", "/metrics", "metrics", s.handleMetrics},
 	}
 	return api, operational
@@ -181,6 +208,17 @@ func (s *Server) Handler() http.Handler {
 	}
 	for _, rt := range operational {
 		mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.endpoint, rt.handler))
+	}
+	// The cluster wire protocol (topology, status, WAL stream, snapshot
+	// fetch) mounts alongside the API; its handlers live in the cluster
+	// package, instrumented here under one "cluster" endpoint label.
+	if n := s.cfg.Cluster; n != nil {
+		ch := n.Handler()
+		mux.HandleFunc("/v1/cluster/", s.instrument("cluster", func(w http.ResponseWriter, r *http.Request) int {
+			rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+			ch.ServeHTTP(rec, r)
+			return rec.code
+		}))
 	}
 	return mux
 }

@@ -1,0 +1,234 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file is the replication transport of the journal: a primary serves
+// a window of its log as a byte stream (StreamTo) and a follower decodes
+// and re-verifies it (StreamReader). The wire format is deliberately the
+// on-disk format — a 56-byte segment header (synthetic: its firstLSN is
+// the window start and its carry-in digest is the chain link of the
+// record just before it) followed by raw framed records. A follower
+// therefore runs exactly the CRC + hash-chain + LSN-density verification
+// that boot recovery runs, and a window is spliced onto the follower's
+// position by comparing the header's carry-in against the digest of the
+// last record it already holds — continuity across polls, across segment
+// rotations, and across follower restarts all reduce to one digest
+// comparison.
+
+// ErrTruncated reports a stream request for records the log no longer
+// retains (TruncateBefore removed them). The follower's recovery is a
+// fresh baseline snapshot, which re-pins its floor past the gap.
+var ErrTruncated = errors.New("wal: requested records already truncated")
+
+// StreamInfo describes one served stream window.
+type StreamInfo struct {
+	// From is the window's first LSN (the synthetic header's firstLSN).
+	From uint64 `json:"from"`
+	// Records is how many records were written after the header.
+	Records int `json:"records"`
+	// NextLSN is the resume position: the LSN the follower should request
+	// next. Equal to the log head when the window drained the log.
+	NextLSN uint64 `json:"next_lsn"`
+}
+
+// StreamTo writes a verification-carrying window of the log to w: one
+// synthetic segment header (firstLSN = from, carry-in = chain digest of
+// record from-1) followed by up to maxRecords raw framed records
+// (maxRecords <= 0 streams to the head). The window may span segment
+// boundaries — the stream hands off across a rotation without the reader
+// noticing, because the synthetic header already re-anchored the chain.
+//
+// The carry-in digest is computed by scanning only the segment containing
+// `from` (from that segment's own trusted header forward), never the whole
+// chain: serving a window from the newest segment stays O(segment), no
+// matter how long the log is. A from at the current head is answered with
+// an empty window (header only) whose carry-in is the live chain head.
+//
+// Appends racing the stream are safe: the window bounds (head, segment
+// set) are pinned under the log mutex, every record below the pinned head
+// was fully written before the pin, and file reads run without the lock.
+// A TruncateBefore racing the stream can remove a pinned segment file;
+// that surfaces as ErrTruncated and the follower re-syncs from a
+// snapshot.
+func (l *Log) StreamTo(w io.Writer, from uint64, maxRecords int) (StreamInfo, error) {
+	if from == 0 {
+		return StreamInfo{}, fmt.Errorf("wal: stream: from must be >= 1")
+	}
+	l.mu.Lock()
+	head := l.nextLSN
+	chainHead := l.chain
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+
+	if from > head {
+		return StreamInfo{}, fmt.Errorf("wal: stream: from %d beyond head %d", from, head)
+	}
+	if from == head {
+		// Caught up: header only, carry-in = live chain head, so the
+		// follower can still verify it agrees with the primary's chain.
+		if _, err := w.Write(encodeSegmentHeader(from, chainHead)); err != nil {
+			return StreamInfo{}, fmt.Errorf("wal: stream: %w", err)
+		}
+		return StreamInfo{From: from, Records: 0, NextLSN: head}, nil
+	}
+
+	// Locate the segment containing from. Anything below the oldest
+	// retained record is gone for good.
+	idx := -1
+	for i, seg := range segs {
+		if seg.lastLSN < seg.firstLSN {
+			continue // empty segment (header only)
+		}
+		if from >= seg.firstLSN && from <= seg.lastLSN {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return StreamInfo{}, fmt.Errorf("wal: stream from %d: %w", from, ErrTruncated)
+	}
+
+	stop := head // exclusive
+	if maxRecords > 0 && from+uint64(maxRecords) < stop {
+		stop = from + uint64(maxRecords)
+	}
+
+	info := StreamInfo{From: from, NextLSN: from}
+	headerWritten := false
+	for i := idx; i < len(segs) && info.NextLSN < stop; i++ {
+		seg := segs[i]
+		if seg.lastLSN < seg.firstLSN {
+			continue
+		}
+		if err := l.streamSegment(w, seg, from, stop, &info, &headerWritten); err != nil {
+			return info, err
+		}
+	}
+	if !headerWritten {
+		return info, corruptf("stream from %d: record not found in pinned segments", from)
+	}
+	return info, nil
+}
+
+// streamSegment reads one pinned segment file, verifying CRCs, chain
+// links and LSN density as it goes, and forwards the raw encoded bytes of
+// every record in [from, stop) to w — writing the synthetic window header
+// (anchored at the chain digest of record from-1) just before the first
+// forwarded record.
+func (l *Log) streamSegment(w io.Writer, seg segment, from, stop uint64, info *StreamInfo, headerWritten *bool) error {
+	base := filepath.Base(seg.path)
+	f, err := os.Open(seg.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// A concurrent TruncateBefore removed the file between the pin
+			// and the open: the window is no longer serveable.
+			return fmt.Errorf("wal: stream %s: %w", base, ErrTruncated)
+		}
+		return fmt.Errorf("wal: stream %s: %w", base, err)
+	}
+	defer f.Close()
+	first, chain, err := readSegmentHeader(f)
+	if err != nil {
+		return fmt.Errorf("wal: stream %s: %w", base, err)
+	}
+	if first != seg.firstLSN {
+		return corruptf("stream %s: segment header changed since recovery", base)
+	}
+	want := first
+	for want < stop {
+		rec, encoded, err := readRecord(f)
+		if errors.Is(err, io.EOF) {
+			return nil // sealed short of stop: the next segment continues
+		}
+		if err != nil {
+			return fmt.Errorf("wal: stream %s: %w", base, err)
+		}
+		if rec.LSN != want || prevOf(encoded) != chain {
+			return corruptf("stream %s: record %d fails chain verification", base, rec.LSN)
+		}
+		if rec.LSN >= from {
+			if !*headerWritten {
+				// chain still holds the digest of record from-1: exactly the
+				// carry-in the synthetic header must anchor the window with.
+				if _, werr := w.Write(encodeSegmentHeader(from, chain)); werr != nil {
+					return fmt.Errorf("wal: stream: %w", werr)
+				}
+				*headerWritten = true
+			}
+			if _, werr := w.Write(encoded); werr != nil {
+				return fmt.Errorf("wal: stream: %w", werr)
+			}
+			info.Records++
+			info.NextLSN = rec.LSN + 1
+		}
+		chain = sha256.Sum256(encoded)
+		want++
+	}
+	return nil
+}
+
+// StreamReader decodes a StreamTo window, re-running the CRC, hash-chain
+// and LSN-density verification of boot recovery on every record. The
+// follower splices windows together by checking Carry() against the
+// Chain() it recorded after the previous window.
+type StreamReader struct {
+	r     io.Reader
+	first uint64
+	next  uint64
+	carry digest
+	chain digest
+}
+
+// NewStreamReader reads and validates the window header. The returned
+// reader's Carry is the chain digest of record First()-1 as claimed by
+// the sender; a follower that already holds records must verify it
+// matches its own chain head before applying anything.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	first, carry, err := readSegmentHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("wal: stream header: %w", err)
+	}
+	return &StreamReader{r: r, first: first, next: first, carry: carry, chain: carry}, nil
+}
+
+// First returns the window's first LSN.
+func (sr *StreamReader) First() uint64 { return sr.first }
+
+// Carry returns the sender-claimed chain digest of record First()-1.
+func (sr *StreamReader) Carry() [sha256.Size]byte { return sr.carry }
+
+// Chain returns the digest of the last record Next returned (Carry before
+// any record was read). Recording it after draining a window is how a
+// follower verifies the next window splices on without a gap.
+func (sr *StreamReader) Chain() [sha256.Size]byte { return sr.chain }
+
+// NextLSN returns the LSN the next record must carry.
+func (sr *StreamReader) NextLSN() uint64 { return sr.next }
+
+// Next returns the window's next record, or io.EOF at the end of the
+// window. Any CRC, chain or density failure wraps ErrCorrupt.
+func (sr *StreamReader) Next() (Record, error) {
+	rec, encoded, err := readRecord(sr.r)
+	if errors.Is(err, io.EOF) {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.LSN != sr.next {
+		return Record{}, corruptf("stream record LSN %d breaks sequence (expected %d)", rec.LSN, sr.next)
+	}
+	if prevOf(encoded) != sr.chain {
+		return Record{}, corruptf("stream record %d breaks the hash chain", rec.LSN)
+	}
+	sr.chain = sha256.Sum256(encoded)
+	sr.next++
+	return rec, nil
+}

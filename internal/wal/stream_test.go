@@ -1,0 +1,331 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// drainStream reads a whole window, verifying every record, and returns
+// the records plus the reader (for chain/position checks).
+func drainStream(t *testing.T, buf *bytes.Buffer) ([]Record, *StreamReader) {
+	t.Helper()
+	sr, err := NewStreamReader(buf)
+	if err != nil {
+		t.Fatalf("stream reader: %v", err)
+	}
+	var recs []Record
+	for {
+		rec, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			return recs, sr
+		}
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestStreamRoundTrip streams a multi-segment log end to end and checks
+// the follower sees every record, in order, chain-verified.
+func TestStreamRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := l.Stats().Segments; segs < 3 {
+		t.Fatalf("want a multi-segment log for this test, got %d segments", segs)
+	}
+	var buf bytes.Buffer
+	info, err := l.StreamTo(&buf, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != n || info.NextLSN != uint64(n+1) {
+		t.Fatalf("stream info = %+v, want %d records next %d", info, n, n+1)
+	}
+	recs, _ := drainStream(t, &buf)
+	if len(recs) != n {
+		t.Fatalf("follower decoded %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) || string(rec.Payload) != fmt.Sprintf("payload-%03d", i) {
+			t.Fatalf("record %d = LSN %d payload %q", i, rec.LSN, rec.Payload)
+		}
+	}
+}
+
+// TestStreamHandsOffAcrossRotation is the satellite case: a follower
+// polls windows while the primary keeps appending past a segment
+// rotation. Each window must splice onto the previous one (the new
+// window's carry-in equals the digest of the last record already held) —
+// the handoff across the segment boundary costs one digest comparison,
+// never a re-verification of the whole chain.
+func TestStreamHandsOffAcrossRotation(t *testing.T) {
+	// 256-byte segments rotate every couple of records, so every poll
+	// below crosses at least one boundary.
+	l, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appended := 0
+	appendSome := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("rotating-%03d", appended))); err != nil {
+				t.Fatal(err)
+			}
+			appended++
+		}
+	}
+	appendSome(9)
+
+	var chain [32]byte
+	chainKnown := false
+	next := uint64(1)
+	got := 0
+	for poll := 0; poll < 6; poll++ {
+		// The primary keeps writing between polls: the segment the
+		// follower was mid-way through rotates out from under it.
+		appendSome(5)
+		var buf bytes.Buffer
+		info, err := l.StreamTo(&buf, next, 7)
+		if err != nil {
+			t.Fatalf("poll %d: %v", poll, err)
+		}
+		recs, sr := drainStream(t, &buf)
+		if chainKnown && sr.Carry() != chain {
+			t.Fatalf("poll %d: window carry-in does not splice onto the previous window", poll)
+		}
+		for _, rec := range recs {
+			if rec.LSN != next {
+				t.Fatalf("poll %d: got LSN %d, want %d", poll, rec.LSN, next)
+			}
+			next++
+			got++
+		}
+		if info.NextLSN != next {
+			t.Fatalf("poll %d: info.NextLSN %d, want %d", poll, info.NextLSN, next)
+		}
+		chain, chainKnown = sr.Chain(), true
+	}
+	if got == 0 || next == 1 {
+		t.Fatal("no records streamed")
+	}
+	// Drain to the head; the follower must end holding the full suffix.
+	for {
+		var buf bytes.Buffer
+		info, err := l.StreamTo(&buf, next, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, sr := drainStream(t, &buf)
+		if sr.Carry() != chain {
+			t.Fatal("final window does not splice")
+		}
+		chain = sr.Chain()
+		next = info.NextLSN
+		got += len(recs)
+		if len(recs) == 0 {
+			break
+		}
+	}
+	if got != appended {
+		t.Fatalf("follower holds %d records, primary appended %d", got, appended)
+	}
+}
+
+// TestStreamAfterTruncate proves the carry-in computation is bounded to
+// the containing segment: once the prefix segments are truncated away, a
+// window starting in a retained segment still serves (nothing left to
+// re-verify a whole chain against), and a window starting below the
+// retained floor reports ErrTruncated.
+func TestStreamAfterTruncate(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("truncate-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := l.TruncateBefore(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("test needs truncation to actually remove segments")
+	}
+	first := l.Stats().FirstLSN
+	if first <= 1 {
+		t.Fatalf("firstLSN still %d after truncation", first)
+	}
+	var buf bytes.Buffer
+	info, err := l.StreamTo(&buf, first, 0)
+	if err != nil {
+		t.Fatalf("stream from retained floor %d: %v", first, err)
+	}
+	recs, _ := drainStream(t, &buf)
+	if len(recs) != info.Records || info.NextLSN != uint64(41) {
+		t.Fatalf("got %d records next %d", len(recs), info.NextLSN)
+	}
+	if _, err := l.StreamTo(io.Discard, 1, 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("stream below retained floor: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestStreamCaughtUp: a window at the head is a header-only stream whose
+// carry-in is the live chain head.
+func TestStreamCaughtUp(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	info, err := l.StreamTo(&buf, l.NextLSN(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.NextLSN != l.NextLSN() {
+		t.Fatalf("caught-up window = %+v", info)
+	}
+	recs, sr := drainStream(t, &buf)
+	if len(recs) != 0 {
+		t.Fatalf("caught-up window carried %d records", len(recs))
+	}
+	if sr.First() != l.NextLSN() {
+		t.Fatalf("header firstLSN %d, want head %d", sr.First(), l.NextLSN())
+	}
+}
+
+// TestTruncateBeforeRacesAppend is the satellite race test: TruncateBefore
+// sweeping the floor forward while Append grows the head, under -race.
+// Afterward the log must still replay cleanly from its retained floor and
+// a follower must still be able to stream the retained suffix.
+func TestTruncateBeforeRacesAppend(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 400
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("race-%04d", i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n/4; i++ {
+			if _, err := l.TruncateBefore(l.NextLSN()); err != nil {
+				t.Errorf("truncate %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// The survivors must be a dense, chain-valid suffix ending at the head.
+	st := l.Stats()
+	if st.NextLSN != n+1 {
+		t.Fatalf("head = %d, want %d", st.NextLSN, n+1)
+	}
+	want := st.FirstLSN
+	if err := l.Replay(1, func(r Record) error {
+		if r.LSN != want {
+			return fmt.Errorf("replay LSN %d, want %d", r.LSN, want)
+		}
+		want++
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after race: %v", err)
+	}
+	if want != n+1 {
+		t.Fatalf("replay ended at %d, want %d", want, n+1)
+	}
+	var buf bytes.Buffer
+	if _, err := l.StreamTo(&buf, st.FirstLSN, 0); err != nil {
+		t.Fatalf("stream after race: %v", err)
+	}
+	recs, _ := drainStream(t, &buf)
+	if len(recs) == 0 || recs[len(recs)-1].LSN != n {
+		t.Fatalf("streamed %d records after race", len(recs))
+	}
+}
+
+// TestStreamRaceWithAppend streams windows concurrently with appends: the
+// pinned window must never observe a torn record even though the active
+// segment file is being written while the stream reads it.
+func TestStreamRaceWithAppend(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 300
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("live-%04d", i))); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	next := uint64(1)
+	var chain [32]byte
+	chainKnown := false
+	for {
+		var buf bytes.Buffer
+		info, err := l.StreamTo(&buf, next, 32)
+		if err != nil {
+			t.Fatalf("stream at %d: %v", next, err)
+		}
+		recs, sr := drainStream(t, &buf)
+		if chainKnown && sr.Carry() != chain {
+			t.Fatalf("window at %d does not splice", next)
+		}
+		chain, chainKnown = sr.Chain(), true
+		next = info.NextLSN
+		_ = recs
+		if next == n+1 {
+			select {
+			case <-done:
+				if t.Failed() {
+					return
+				}
+				return
+			default:
+			}
+		}
+	}
+}
