@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -27,7 +28,7 @@ import (
 var (
 	scale    = flag.Int("scale", 13, "RMAT scale (2^scale vertices)")
 	ef       = flag.Int("ef", 16, "RMAT edge factor")
-	table    = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,ingest,perf,all")
+	table    = flag.String("table", "all", "which table to print: 1,2,fig2,c1..c8,census,ingest,incremental,perf,all")
 	jsonOut  = flag.String("json", "", "write the perf table as machine-readable JSON to this file (e.g. BENCH_1.json)")
 	baseFile = flag.String("baseline", "", "previous BENCH_<pr>.json; annotate matching entries with speedup vs that baseline")
 	smoke    = flag.String("smoke", "", "smoke-baseline JSON; fail if any p=1 kernel regresses >25% after median-ratio host normalization")
@@ -56,6 +57,7 @@ func main() {
 	run("c8", c8)
 	run("census", census)
 	run("ingest", ingestTable)
+	run("incremental", incrementalTable)
 	// perf is opt-in (it re-times every skewed kernel at two parallelism
 	// levels): run it when asked for by name, when a JSON sink is given,
 	// or when a smoke comparison is requested.
@@ -100,6 +102,10 @@ type perfReport struct {
 	// entry point must never be more than a small factor slower than the
 	// best static choice it is selecting among (see EXPERIMENTS.md).
 	Audits []auditEntry `json:"audits,omitempty"`
+	// Incremental is the warm-start-vs-full comparison under a 1%-edge
+	// delta: iterations to convergence and wall time for both paths.
+	// Added in lagraph-perf/4 alongside mode=incremental queries.
+	Incremental []incrementalEntry `json:"incremental,omitempty"`
 }
 
 // auditEntry compares one auto-selecting kernel against the fastest of
@@ -279,7 +285,7 @@ func perf() {
 		pmax = 4
 	}
 	report := perfReport{
-		Schema:     "lagraph-perf/3",
+		Schema:     "lagraph-perf/4",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
@@ -373,6 +379,11 @@ func perf() {
 			ingestTable()
 		}
 		report.Ingest = ingestRows
+		if incrementalRows == nil {
+			fmt.Println()
+			incrementalTable()
+		}
+		report.Incremental = incrementalRows
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perf json:", err)
@@ -391,6 +402,182 @@ func perf() {
 			os.Exit(1)
 		}
 		fmt.Println("bench-smoke: ok")
+	}
+}
+
+// incrementalEntry is one row of the delta-workload comparison: one
+// algorithm recomputed from scratch vs warm-started from its pre-delta
+// result after a 1%-edge insert-only delta.
+type incrementalEntry struct {
+	Algo        string  `json:"algo"`
+	Scale       int     `json:"scale"`
+	DeltaEdges  int     `json:"delta_edges"`
+	FullIters   int     `json:"full_iters"`
+	WarmIters   int     `json:"warm_iters"`
+	ItersSaved  int     `json:"iters_saved"`
+	FullNsPerOp int64   `json:"full_ns_per_op"`
+	WarmNsPerOp int64   `json:"warm_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// incrementalRows holds the table's measurements so the -json sink can
+// embed them in the committed BENCH_<pr>.json without re-timing.
+var incrementalRows []incrementalEntry
+
+// incrementalTable measures what mode=incremental buys under the
+// canonical delta workload: a power-law graph mutated by a 1%-edge
+// insert-only delta, each algorithm answered by a full recompute and by
+// a warm start from the pre-delta result. Iteration counts are exact
+// algorithm state (deterministic across hosts); for PageRank the warm
+// start is REQUIRED to converge in at most half the full iterations —
+// the claim BENCH_4.json carries — and the table exits nonzero if a
+// change regresses that.
+func incrementalTable() {
+	fmt.Println("── incremental: warm-start vs full recompute under a one-percent edge delta ──")
+	n := 1 << *scale
+	el := gen.PowerLaw(n, *ef*n, 1.8, gen.Config{Seed: 42, Undirected: true, NoSelfLoops: true})
+	g, err := lagraph.NewGraph(el.Matrix(), lagraph.Undirected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incremental:", err)
+		os.Exit(1)
+	}
+	g.A.Wait()
+
+	// The service defaults: this is the configuration mode=incremental
+	// actually answers with, so it is the one the table must measure.
+	prOpts := []lagraph.Option{lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-4), lagraph.WithMaxIter(1000)}
+	ccPrior, err := lagraph.ConnectedComponentsWith(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incremental:", err)
+		os.Exit(1)
+	}
+	bfsPrior, err := lagraph.BFSLevels(g, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incremental:", err)
+		os.Exit(1)
+	}
+	prPrior, err := lagraph.PageRankWith(g, prOpts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incremental:", err)
+		os.Exit(1)
+	}
+
+	// 1% of the edge count, as deterministic insertions whose endpoints
+	// are sampled degree-proportionally (the endpoint of a uniformly
+	// random existing edge) — the preferential-attachment growth model the
+	// power-law corpus itself is built from. Mirrored: the fixture is
+	// undirected.
+	deltaEdges := g.NEdges() / 2 / 100
+	if deltaEdges < 1 {
+		deltaEdges = 1
+	}
+	rng := rand.New(rand.NewSource(4242))
+	src := make([]int, deltaEdges)
+	dst := make([]int, deltaEdges)
+	var is, js []int
+	var xs []float64
+	for k := 0; k < deltaEdges; k++ {
+		u := el.Src[rng.Intn(len(el.Src))]
+		v := el.Dst[rng.Intn(len(el.Dst))]
+		src[k], dst[k] = u, v
+		is, js, xs = append(is, u), append(js, v), append(xs, 1)
+		if u != v {
+			is, js, xs = append(is, v), append(js, u), append(xs, 1)
+		}
+	}
+	if err := g.A.SetElements(is, js, xs, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "incremental:", err)
+		os.Exit(1)
+	}
+	g.InvalidateCache()
+	g.A.Wait()
+	delta := &lagraph.Delta{AddSrc: src, AddDst: dst}
+
+	type runout struct {
+		iters int
+		err   error
+	}
+	rows := []struct {
+		algo string
+		full func() runout
+		warm func() runout
+	}{
+		{"pagerank",
+			func() runout {
+				r, err := lagraph.PageRankWith(g, prOpts...)
+				if err != nil {
+					return runout{err: err}
+				}
+				return runout{iters: r.Iterations}
+			},
+			func() runout {
+				r, err := lagraph.PageRankWarm(g, prPrior.Rank, prOpts...)
+				if err != nil {
+					return runout{err: err}
+				}
+				return runout{iters: r.Iterations}
+			}},
+		{"cc",
+			func() runout {
+				r, err := lagraph.ConnectedComponentsWith(g)
+				if err != nil {
+					return runout{err: err}
+				}
+				return runout{iters: r.Iterations}
+			},
+			func() runout {
+				r, err := lagraph.IncrementalCC(g, ccPrior.Labels, delta)
+				if err != nil {
+					return runout{err: err}
+				}
+				return runout{iters: r.Iterations}
+			}},
+		{"bfs",
+			func() runout {
+				var stats lagraph.BFSStats
+				_, err := lagraph.BFSLevels(g, 0, lagraph.WithStats(&stats))
+				if err != nil {
+					return runout{err: err}
+				}
+				return runout{iters: stats.Depth}
+			},
+			func() runout {
+				_, rounds, err := lagraph.IncrementalBFSLevels(g, 0, bfsPrior, delta)
+				if err != nil {
+					return runout{err: err}
+				}
+				return runout{iters: rounds}
+			}},
+	}
+
+	fmt.Printf("%-10s %11s %11s %11s %12s %12s %9s   (power-law n=2^%d, +%d edges = 1%%)\n",
+		"algo", "full iters", "warm iters", "saved", "full", "warm", "speedup", *scale, deltaEdges)
+	for _, row := range rows {
+		var fo, wo runout
+		df := timeIt(3, func() { fo = row.full() })
+		dw := timeIt(3, func() { wo = row.warm() })
+		if fo.err != nil || wo.err != nil {
+			fmt.Fprintf(os.Stderr, "incremental %s: full=%v warm=%v\n", row.algo, fo.err, wo.err)
+			os.Exit(1)
+		}
+		saved := fo.iters - wo.iters
+		if saved < 0 {
+			saved = 0
+		}
+		e := incrementalEntry{
+			Algo: row.algo, Scale: *scale, DeltaEdges: deltaEdges,
+			FullIters: fo.iters, WarmIters: wo.iters, ItersSaved: saved,
+			FullNsPerOp: df.Nanoseconds(), WarmNsPerOp: dw.Nanoseconds(),
+			Speedup: float64(df) / float64(dw),
+		}
+		incrementalRows = append(incrementalRows, e)
+		fmt.Printf("%-10s %11d %11d %11d %12s %12s %8.2fx\n",
+			e.Algo, e.FullIters, e.WarmIters, e.ItersSaved, df.Round(time.Microsecond), dw.Round(time.Microsecond), e.Speedup)
+		if row.algo == "pagerank" && wo.iters*2 > fo.iters {
+			fmt.Fprintf(os.Stderr, "incremental: pagerank warm start saved too little (%d warm vs %d full iters, need ≥2x)\n",
+				wo.iters, fo.iters)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -24,6 +24,17 @@
 // results from its snapshots (and, for mut:* keys, from snapshot + WAL
 // replay).
 //
+// With -dual the run adds an interleaved ingest→query pass against the
+// mutation copy: each round ingests one deterministic insert-only batch,
+// then issues cc/bfs/pagerank in BOTH mode=full and mode=incremental
+// (pagerank via mode=verify, which asserts the tolerance-level
+// equivalence server-side) and exits 1 on any checksum divergence
+// between the modes. The final dual-pass checksums go into the sums file
+// under inc:* keys; the dual batches are idempotent (disjoint last-wins
+// upserts), so a recovery run repeating the pass must reproduce them
+// bitwise — which is how CI proves a warm-start cache never survives a
+// kill -9 incorrectly.
+//
 // With a comma-separated -base list the target is a lagraphd cluster:
 // loadgen waits for every node's /readyz, round-robins the traffic over
 // all of them (followed 307s and proxied answers both count), then waits
@@ -76,6 +87,8 @@ func main() {
 	edges := flag.Int("edges", 0, "edge-mutation batches to interleave with the query mix (0 = none)")
 	edgeBatch := flag.Int("edge-batch", 64, "tuples per edge batch")
 	edgeOffset := flag.Int("edge-offset", 0, "offset added to batch indices, so successive runs ingest disjoint batches")
+	dual := flag.Bool("dual", false, "run the dual-mode ingest→query pass (mode=full vs mode=incremental) against the mutation copy")
+	dualRounds := flag.Int("dual-rounds", 3, "ingest→query rounds in the dual-mode pass")
 	flag.Parse()
 
 	var bases []string
@@ -93,6 +106,7 @@ func main() {
 		parallel: *parallel, wait: *wait, noLoad: *noLoad, flush: *flush,
 		sumsOut: *sumsOut, sumsIn: *sumsIn,
 		edges: *edges, edgeBatch: *edgeBatch, edgeOffset: *edgeOffset,
+		dual: *dual, dualRounds: *dualRounds,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -113,6 +127,8 @@ type options struct {
 	edges           int
 	edgeBatch       int
 	edgeOffset      int
+	dual            bool
+	dualRounds      int
 }
 
 func run(opts options) error {
@@ -293,6 +309,20 @@ func run(opts options) error {
 	}
 	fmt.Printf("loadgen: %d/%d requests OK across %d algorithms (+%d edge batches)\n",
 		ok, total, len(queryMix), opts.edges)
+
+	// Dual-mode pass: interleaved ingest→query rounds where every query
+	// runs in both execution modes and the checksums must agree. It runs
+	// BEFORE the mutation copy's reference state is recorded, because its
+	// rounds ingest further (idempotent) batches.
+	if opts.dual {
+		incSums, err := dualModePass(client, bases, mutName(name), n, opts.dualRounds, opts.wait)
+		if err != nil {
+			return err
+		}
+		for k, v := range incSums {
+			sums[k] = v
+		}
+	}
 
 	// Post-ingest verification of the mutation copy: its final state is a
 	// pure function of the batch set (batches are pairwise disjoint, and a
@@ -572,6 +602,133 @@ func getBody(client *http.Client, url string) (string, error) {
 
 // mutName is the mutation copy's graph name.
 func mutName(name string) string { return name + "-mut" }
+
+// dualBatchBase offsets the dual-mode pass's batch indices far above the
+// -edges burst so the two tuple ranges are disjoint. Indices are mapped
+// to residues 0..2 mod 4 (edgeBatchBody makes every 4th batch remove),
+// keeping every dual batch insert-only — the precondition for the exact
+// warm starts it is exercising.
+const dualBatchBase = 8000
+
+// dualBatchLen is fixed rather than inherited from -edge-batch: the
+// recovery run repeats the dual pass to prove checksum identity, and its
+// batches are only idempotent if they are byte-for-byte the ones the
+// pre-crash run ingested, whatever flags each invocation happened to
+// use.
+const dualBatchLen = 48
+
+// dualQuery is one checksum-bearing query of the dual-mode pass.
+type dualQuery struct {
+	Checksum    string `json:"checksum"`
+	Incremental *struct {
+		ModeUsed       string `json:"mode_used"`
+		FallbackReason string `json:"fallback_reason"`
+		Verify         *struct {
+			Equivalent bool `json:"equivalent"`
+		} `json:"verify"`
+	} `json:"incremental"`
+}
+
+// dualModePass proves mode equivalence over live traffic: each round
+// primes the incremental cache with full-mode queries, ingests one
+// deterministic insert-only batch, then reissues every query in both
+// modes — cc and bfs must answer with bitwise-identical checksums, and
+// pagerank goes through mode=verify so the daemon itself asserts the
+// tolerance bound (a divergence is a 500, which fails the pass). Against
+// a single node the warm start is also REQUIRED to engage (the prior was
+// primed in the same round); against a cluster the round-robin may land
+// a query on a node without a prior, where an honest fallback is
+// legitimate and checksum identity is the whole contract. Returns the
+// final checksums under inc:* keys.
+func dualModePass(client *http.Client, bases []string, mut string, n, rounds int, wait time.Duration) (map[string]string, error) {
+	requireWarm := len(bases) == 1
+	queries := []map[string]any{
+		{"algo": "cc"},
+		{"algo": "bfs", "src": 0},
+		{"algo": "pagerank"},
+	}
+	ask := func(target string, q map[string]any, mode string) (dualQuery, error) {
+		body := map[string]any{"mode": mode}
+		for k, v := range q {
+			body[k] = v
+		}
+		code, raw, err := postJSON(client, target+"/v1/graphs/"+mut+"/query", body)
+		if err != nil {
+			return dualQuery{}, fmt.Errorf("dual %s mode=%s: %v", q["algo"], mode, err)
+		}
+		if code != 200 {
+			return dualQuery{}, fmt.Errorf("dual %s mode=%s: status %d: %s", q["algo"], mode, code, raw)
+		}
+		var dq dualQuery
+		if err := json.Unmarshal(raw, &dq); err != nil {
+			return dualQuery{}, fmt.Errorf("dual %s mode=%s: %v", q["algo"], mode, err)
+		}
+		return dq, nil
+	}
+	sums := map[string]string{}
+	rr := 0
+	next := func() string { rr++; return bases[rr%len(bases)] }
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			if _, err := ask(next(), q, "full"); err != nil {
+				return nil, err
+			}
+		}
+		idx := dualBatchBase + (r/3)*4 + r%3
+		code, raw, err := postJSON(client, next()+"/v1/graphs/"+mut+"/edges", edgeBatchBody(n, idx, dualBatchLen))
+		if err != nil || code != 200 {
+			return nil, fmt.Errorf("dual ingest round %d: status %d: %v %s", r, code, err, raw)
+		}
+		// Against a cluster, the next queries round-robin over every node:
+		// wait for replication so the two modes are never compared across
+		// nodes at different generations.
+		if len(bases) > 1 {
+			if err := clusterConverge(client, bases, wait); err != nil {
+				return nil, fmt.Errorf("dual round %d: %v", r, err)
+			}
+		}
+		for _, q := range queries {
+			algo := q["algo"].(string)
+			if algo == "pagerank" {
+				vq, err := ask(next(), q, "verify")
+				if err != nil {
+					return nil, err
+				}
+				if vq.Incremental == nil || vq.Incremental.Verify == nil || !vq.Incremental.Verify.Equivalent {
+					return nil, fmt.Errorf("dual pagerank round %d: verify did not report equivalence", r)
+				}
+				if requireWarm && vq.Incremental.ModeUsed != "incremental" {
+					return nil, fmt.Errorf("dual pagerank round %d: expected a warm start, got mode_used=%s (%s)",
+						r, vq.Incremental.ModeUsed, vq.Incremental.FallbackReason)
+				}
+				sums["inc:pagerank"] = vq.Checksum
+				continue
+			}
+			inc, err := ask(next(), q, "incremental")
+			if err != nil {
+				return nil, err
+			}
+			full, err := ask(next(), q, "full")
+			if err != nil {
+				return nil, err
+			}
+			if inc.Checksum != full.Checksum {
+				return nil, fmt.Errorf("dual %s round %d: incremental checksum %s != full %s",
+					algo, r, inc.Checksum, full.Checksum)
+			}
+			if requireWarm && (inc.Incremental == nil || inc.Incremental.ModeUsed != "incremental") {
+				reason := "missing incremental info"
+				if inc.Incremental != nil {
+					reason = inc.Incremental.FallbackReason
+				}
+				return nil, fmt.Errorf("dual %s round %d: expected a warm start, got fallback (%s)", algo, r, reason)
+			}
+			sums["inc:"+algo] = full.Checksum
+		}
+	}
+	fmt.Printf("loadgen: dual-mode pass OK: %d rounds, full ≡ incremental for cc/bfs, pagerank verified in-bound\n", rounds)
+	return sums, nil
+}
 
 // interleave returns job indices 0..queries+edges-1 with the edge jobs
 // (indices >= queries) strided evenly through the query jobs, so edge

@@ -98,6 +98,19 @@ type Entry struct {
 	// values alongside Warm=false).
 	symmetric bool //grblint:guardedby mu
 	selfLoops int  //grblint:guardedby mu
+
+	// staged carries one Ingest callback's declared delta to the
+	// post-bump commit (see results.go).
+	staged *stagedDelta //grblint:guardedby mu
+
+	// resMu guards the prior-result cache and the delta log (results.go).
+	// It nests strictly inside mu: cache methods are called from View and
+	// Ingest callbacks with mu held, and never take mu themselves.
+	resMu      sync.Mutex
+	results    map[string]CachedResult //grblint:guardedby resMu
+	deltas     []deltaRec              //grblint:guardedby resMu
+	deltaOps   int                     //grblint:guardedby resMu
+	deltaFloor uint64                  //grblint:guardedby resMu
 }
 
 // Name returns the registered name.
@@ -145,6 +158,9 @@ func (e *Entry) Update(fn func(g *lagraph.Graph) error) error {
 	e.warm = false
 	e.gen.Add(1)
 	e.cat.updates.Add(1)
+	// An Update is an untracked mutation: cached results stay (stale),
+	// but the delta chain to them is broken.
+	e.invalidateDeltas()
 	return err
 }
 
@@ -186,12 +202,23 @@ func (e *Entry) Replicate(fn func(g *lagraph.Graph) (mutated bool, err error)) e
 func (e *Entry) ingest(fn func(g *lagraph.Graph) (mutated bool, err error)) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.staged = nil
 	mutated, err := fn(e.g)
+	staged := e.staged
+	e.staged = nil
 	if mutated {
 		e.g.InvalidateCache()
 		e.warm = false
 		e.gen.Add(1)
 		e.cat.ingests.Add(1)
+		// A cleanly applied batch the callback declared via StageDelta
+		// extends the tracked delta chain; anything else (no declaration,
+		// or a partial apply) breaks it.
+		if err == nil && staged != nil {
+			e.commitDelta(e.gen.Load(), staged)
+		} else {
+			e.invalidateDeltas()
+		}
 	}
 	return err
 }

@@ -464,6 +464,11 @@ func (n *Node) applyWindow(ctx context.Context, src NodeInfo, e *catalog.Entry, 
 				return false, apErr
 			}
 			e.SetJournalSeq(rec.LSN)
+			// Replicated batches extend the replica's delta log too, so
+			// replica reads can answer mode=incremental without falling
+			// back (snapshot re-ships go through Replace, which breaks
+			// the chain as an untracked mutation — exactly right).
+			e.StageDelta(b.DeltaParts())
 			return true, nil
 		})
 		if aerr != nil {

@@ -10,19 +10,52 @@ import (
 // propagation formulation used as a second, independent GraphBLAS
 // implementation.
 
+// CCResult carries the component labels plus convergence information
+// (mirroring PageRankResult), so the service layer can report
+// iterations-to-convergence for full vs warm-started runs.
+type CCResult struct {
+	Labels     *grb.Vector[int64]
+	Iterations int
+}
+
 // ConnectedComponentsFastSV labels every vertex with the smallest vertex
 // id in its (weakly) connected component. Directed graphs are treated as
 // undirected by also propagating along transposed edges.
 func ConnectedComponentsFastSV(g *Graph, opts ...Option) (*grb.Vector[int64], error) {
-	cfg := newOptions(opts)
-	n := g.N()
-	// f: parent pointer vector, dense, initialized to self.
-	f := grb.MustVector[int64](n)
-	ids := make([]int64, n)
-	for i := range ids {
-		ids[i] = int64(i)
+	res, err := ConnectedComponentsWith(g, opts...)
+	if err != nil {
+		return nil, err
 	}
-	f = grb.DenseVector(ids)
+	return res.Labels, nil
+}
+
+// ConnectedComponentsWith is ConnectedComponentsFastSV with convergence
+// information attached.
+func ConnectedComponentsWith(g *Graph, opts ...Option) (*CCResult, error) {
+	cfg := newOptions(opts)
+	return fastSVFrom(g, nil, false, &cfg)
+}
+
+// fastSVFrom runs the FastSV loop from an initial parent vector. f0 nil
+// selects the cold start f(i)=i; a warm start passes prior labels, whose
+// validity (every f0(i) names a vertex in i's component) the caller must
+// guarantee — see IncrementalCC. The op sequence per iteration is
+// identical in both modes, so cold results are bitwise unchanged by this
+// refactor and warm results converge to the same canonical min-id fixed
+// point.
+func fastSVFrom(g *Graph, f0 *grb.Vector[int64], warm bool, cfg *Options) (*CCResult, error) {
+	n := g.N()
+	// f: parent pointer vector, dense.
+	var f *grb.Vector[int64]
+	if f0 == nil {
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		f = grb.DenseVector(ids)
+	} else {
+		f = f0.Dup()
+	}
 
 	minSecond := grb.Semiring[float64, int64, int64]{Add: grb.MinMonoid[int64](), Mul: grb.Second[float64, int64]()}
 
@@ -87,12 +120,13 @@ func ConnectedComponentsFastSV(g *Graph, opts ...Option) (*grb.Vector[int64], er
 		if ob != nil {
 			ob.Iter(obs.IterRecord{
 				Algo: "cc-fastsv", Iter: iter + 1,
+				Warm:     warm,
 				DurNanos: ob.Now() - t0,
 			})
 		}
 		// Converged when the grandparent vector is stable.
 		if stable {
-			return f, nil
+			return &CCResult{Labels: f, Iterations: iter + 1}, nil
 		}
 		gp = newGP
 	}

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -44,6 +45,44 @@ func goldenGraph(t testing.TB) *lagraph.Graph {
 		t.Fatal(err)
 	}
 	return g
+}
+
+// goldenDelta applies the fixed insert-only mutation every incremental
+// golden case uses: bridge edges between far-apart vertices plus a
+// duplicate and a self-loop, mirrored because the fixture is undirected.
+// Returns the Delta record the warm starts consume.
+func goldenDelta(g *lagraph.Graph) (*lagraph.Delta, error) {
+	src := []int{3, 100, 3, 7}
+	dst := []int{200, 50, 200, 7}
+	var is, js []int
+	var xs []float64
+	for k := range src {
+		is, js, xs = append(is, src[k]), append(js, dst[k]), append(xs, 1)
+		if src[k] != dst[k] {
+			is, js, xs = append(is, dst[k]), append(js, src[k]), append(xs, 1)
+		}
+	}
+	if err := g.A.SetElements(is, js, xs, nil); err != nil {
+		return nil, err
+	}
+	g.InvalidateCache()
+	return &lagraph.Delta{AddSrc: src, AddDst: dst}, nil
+}
+
+// sameBytes asserts two vectors serialize identically (the bitwise
+// equivalence contract of the exact warm starts).
+func sameBytes[T any](a, b *grb.Vector[T]) error {
+	var ab, bb bytes.Buffer
+	if err := grb.SerializeVector(&ab, a); err != nil {
+		return err
+	}
+	if err := grb.SerializeVector(&bb, b); err != nil {
+		return err
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		return fmt.Errorf("vectors differ (%d vs %d bytes)", ab.Len(), bb.Len())
+	}
+	return nil
 }
 
 // goldenCases maps a stable case name to a function computing the
@@ -84,6 +123,70 @@ func goldenCases() map[string]func(g *lagraph.Graph) ([]byte, error) {
 		"cc-fastsv": func(g *lagraph.Graph) ([]byte, error) {
 			v, err := lagraph.ConnectedComponentsFastSV(g)
 			return serialize(err, func(w *bytes.Buffer) error { return grb.SerializeVector(w, v) })
+		},
+		// Incremental-mode frames: each applies the fixed goldenDelta to
+		// the fixture, warm-starts from the pre-delta result, and (for the
+		// exact algorithms) asserts agreement with a full recompute before
+		// serializing — so the committed frame pins the warm-start path's
+		// bytes across kernel changes, at both parallelism levels.
+		"cc-incremental": func(g *lagraph.Graph) ([]byte, error) {
+			prior, err := lagraph.ConnectedComponentsWith(g)
+			if err != nil {
+				return nil, err
+			}
+			delta, err := goldenDelta(g)
+			if err != nil {
+				return nil, err
+			}
+			inc, err := lagraph.IncrementalCC(g, prior.Labels, delta)
+			if err != nil {
+				return nil, err
+			}
+			full, err := lagraph.ConnectedComponentsWith(g)
+			if err != nil {
+				return nil, err
+			}
+			if err := sameBytes(inc.Labels, full.Labels); err != nil {
+				return nil, fmt.Errorf("incremental cc vs full: %w", err)
+			}
+			return serialize(nil, func(w *bytes.Buffer) error { return grb.SerializeVector(w, inc.Labels) })
+		},
+		"bfs-levels-incremental-src0": func(g *lagraph.Graph) ([]byte, error) {
+			prior, err := lagraph.BFSLevels(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			delta, err := goldenDelta(g)
+			if err != nil {
+				return nil, err
+			}
+			repaired, _, err := lagraph.IncrementalBFSLevels(g, 0, prior, delta)
+			if err != nil {
+				return nil, err
+			}
+			full, err := lagraph.BFSLevels(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := sameBytes(repaired, full); err != nil {
+				return nil, fmt.Errorf("incremental bfs vs full: %w", err)
+			}
+			return serialize(nil, func(w *bytes.Buffer) error { return grb.SerializeVector(w, repaired) })
+		},
+		"pagerank-warm": func(g *lagraph.Graph) ([]byte, error) {
+			opts := []lagraph.Option{lagraph.WithDamping(0.85), lagraph.WithTolerance(1e-9), lagraph.WithMaxIter(200)}
+			prior, err := lagraph.PageRankWith(g, opts...)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := goldenDelta(g); err != nil {
+				return nil, err
+			}
+			warm, err := lagraph.PageRankWarm(g, prior.Rank, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return serialize(nil, func(w *bytes.Buffer) error { return grb.SerializeVector(w, warm.Rank) })
 		},
 		"tc-burkhardt": func(g *lagraph.Graph) ([]byte, error) {
 			n, err := lagraph.TriangleCount(g, lagraph.TCBurkhardt)

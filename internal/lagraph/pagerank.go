@@ -23,6 +23,18 @@ type PageRankResult struct {
 // damping 0.85, tolerance 1e-4, at most 100 iterations.
 func PageRankWith(g *Graph, opts ...Option) (*PageRankResult, error) {
 	cfg := newOptions(opts)
+	return pageRankFrom(g, nil, false, &cfg)
+}
+
+// pageRankFrom runs the power iteration from an initial rank vector. r0
+// nil selects the cold uniform start 1/n; a warm start passes a prior
+// rank vector (see PageRankWarm). The iteration map is a contraction
+// with factor ≤ damping in L1, so any start converges to the same unique
+// fixed point; the residual stop then bounds the distance between a warm
+// and a cold answer by 2·damping·tol/(1-damping). The per-iteration op
+// sequence is identical in both modes — cold results are bitwise
+// unchanged by this refactor.
+func pageRankFrom(g *Graph, r0 *grb.Vector[float64], warm bool, cfg *Options) (*PageRankResult, error) {
 	damping := cfg.Damping
 	if damping == 0 {
 		damping = 0.85
@@ -46,7 +58,12 @@ func PageRankWith(g *Graph, opts ...Option) (*PageRankResult, error) {
 	// dangling mask: vertices with no out-edges.
 	danglingMask := deg // structural complement used below
 
-	r := grb.DenseVector(constants(n, 1/nf))
+	var r *grb.Vector[float64]
+	if r0 == nil {
+		r = grb.DenseVector(constants(n, 1/nf))
+	} else {
+		r = r0.Dup()
+	}
 	w := grb.MustVector[float64](n)
 	plusSecond := grb.PlusSecond[float64]()
 
@@ -103,6 +120,7 @@ func PageRankWith(g *Graph, opts ...Option) (*PageRankResult, error) {
 			ob.Iter(obs.IterRecord{
 				Algo: "pagerank", Iter: iter,
 				Residual: l1,
+				Warm:     warm,
 				DurNanos: ob.Now() - t0,
 			})
 		}

@@ -97,6 +97,10 @@ type IterRecord struct {
 	Dir string `json:"dir,omitempty"`
 	// Residual is the convergence measure (L1 delta for PageRank/HITS).
 	Residual float64 `json:"residual,omitempty"`
+	// Warm marks an iteration of a warm-started (incremental) run: the
+	// loop resumed from a prior result instead of the cold initial state,
+	// so BENCH tables can attribute iterations-to-convergence savings.
+	Warm bool `json:"warm,omitempty"`
 	// DurNanos is the iteration's wall time.
 	DurNanos int64 `json:"dur_nanos,omitempty"`
 }

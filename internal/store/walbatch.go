@@ -93,6 +93,33 @@ func (b EdgeBatch) DupOp() (grb.BinaryOp[float64, float64, float64], error) {
 	return nil, fmt.Errorf("%w: unknown dup policy %q", lagraph.ErrBadArgument, b.Dup)
 }
 
+// DeltaParts splits the batch into the shape catalog.Entry.StageDelta
+// records for incremental analytics: inserted-edge endpoints (parallel
+// slices, application order, unmirrored — consumers mirror undirected
+// edges themselves) and the removal count. Weight-only updates of
+// existing edges land in the insert slices too, which is sound: the
+// warm-started algorithms (CC, BFS, PageRank) are structural and a
+// reported insertion that changed nothing only costs a no-op relaxation.
+func (b EdgeBatch) DeltaParts() (addSrc, addDst []int, removals int) {
+	adds := 0
+	for _, op := range b.Ops {
+		if !op.Remove {
+			adds++
+		}
+	}
+	addSrc = make([]int, 0, adds)
+	addDst = make([]int, 0, adds)
+	for _, op := range b.Ops {
+		if op.Remove {
+			removals++
+			continue
+		}
+		addSrc = append(addSrc, op.Src)
+		addDst = append(addDst, op.Dst)
+	}
+	return addSrc, addDst, removals
+}
+
 // Encode serializes the batch for journaling.
 func (b EdgeBatch) Encode() ([]byte, error) {
 	if len(b.Name) == 0 || len(b.Name) > maxBatchName {

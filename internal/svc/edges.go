@@ -151,6 +151,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) int {
 			e.SetJournalSeq(resp.LSN)
 			p.MarkApplied(e.Name(), resp.LSN)
 		}
+		// Declare the batch to the entry's delta log so later
+		// mode=incremental queries can prove their warm-start window
+		// insert-only (committed by Ingest after the generation bump).
+		e.StageDelta(batch.DeltaParts())
 		resp.Pending, _ = g.A.Pending()
 		return true, nil
 	})

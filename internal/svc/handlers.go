@@ -73,6 +73,13 @@ type QueryRequest struct {
 	// Trace, when true, attaches the per-iteration trace document to the
 	// response.
 	Trace bool `json:"trace"`
+	// Mode selects the execution strategy for incremental-capable
+	// algorithms (bfs, cc, pagerank): "full" (default) recomputes from
+	// scratch, "incremental" warm-starts from the entry's cached prior
+	// result (falling back to full when no sound prior exists), and
+	// "verify" runs both and fails unless they agree. Other algorithms
+	// accept any mode but always run full.
+	Mode string `json:"mode,omitempty"`
 }
 
 // QueryResponse reports a query's outcome. Checksum is an FNV-64a digest
@@ -90,6 +97,11 @@ type QueryResponse struct {
 	// Cluster annotates the response with this node's placement role for
 	// the graph and its replication lag (cluster mode only).
 	Cluster *QueryClusterInfo `json:"cluster,omitempty"`
+	// Incremental reports how the incremental machinery answered the
+	// query: the mode actually used, the warm-start lineage, and the
+	// iterations saved. Present whenever a non-full mode was requested,
+	// and on full-mode runs of incremental-capable algorithms.
+	Incremental *IncrementalInfo `json:"incremental,omitempty"`
 }
 
 // ErrorInfo is the uniform error payload every endpoint returns on
@@ -152,6 +164,11 @@ func classify(err error) (int, ErrorInfo) {
 		return http.StatusNotImplemented, info("no_persistence", false) // 501: daemon started without -data
 	case errors.Is(err, grb.ErrCorrupt):
 		return http.StatusInternalServerError, info("corrupt", false) // durable copy failed integrity checks
+	case errors.Is(err, errEquivalence):
+		// 500, not retryable: a verify-mode query proved the warm-started
+		// result diverged from the full recompute — a service invariant
+		// violation the client cannot fix by retrying.
+		return http.StatusInternalServerError, info("equivalence_violation", false)
 	case errors.Is(err, lagraph.ErrBadArgument),
 		errors.Is(err, lagraph.ErrNotUndirected),
 		errors.Is(err, mmio.ErrFormat),
@@ -404,6 +421,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 // runQuery executes the algorithm under the entry's read lock.
 func (s *Server) runQuery(ctx context.Context, e *catalog.Entry, req *QueryRequest) (*QueryResponse, error) {
 	resp := &QueryResponse{Graph: e.Name(), Algo: req.Algo}
+	mode, err := normalizeMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
 	opts := []lagraph.Option{lagraph.WithContext(ctx)}
 	if req.MaxIter > 0 {
 		opts = append(opts, lagraph.WithMaxIter(req.MaxIter))
@@ -428,17 +449,11 @@ func (s *Server) runQuery(ctx context.Context, e *catalog.Entry, req *QueryReque
 	}
 
 	t0 := time.Now()
-	err := e.View(func(g *lagraph.Graph) error {
+	err = e.View(func(g *lagraph.Graph) error {
 		resp.Generation = e.Generation()
 		switch strings.ToLower(req.Algo) {
 		case "bfs":
-			var stats lagraph.BFSStats
-			levels, err := lagraph.BFSLevels(g, req.Src, append(opts, lagraph.WithStats(&stats))...)
-			if err != nil {
-				return err
-			}
-			resp.Result = map[string]any{"reached": levels.Nvals(), "depth": stats.Depth}
-			resp.Checksum = checksumInt32(levels)
+			return s.runIncAlgo(e, g, mode, bfsAlgo(req.Src, opts), resp)
 		case "parents":
 			parents, err := lagraph.BFSParents(g, req.Src, opts...)
 			if err != nil {
@@ -462,22 +477,9 @@ func (s *Server) runQuery(ctx context.Context, e *catalog.Entry, req *QueryReque
 			resp.Result = map[string]any{"reached": d.Nvals()}
 			resp.Checksum = checksumFloat64(d)
 		case "pagerank":
-			res, err := lagraph.PageRankWith(g, opts...)
-			if err != nil {
-				return err
-			}
-			resp.Result = map[string]any{
-				"iterations": res.Iterations, "converged": res.Converged,
-				"top": lagraph.TopK(res.Rank, k),
-			}
-			resp.Checksum = checksumFloat64(res.Rank)
+			return s.runIncAlgo(e, g, mode, pagerankAlgo(req, opts, k), resp)
 		case "cc":
-			labels, err := lagraph.ConnectedComponentsFastSV(g, opts...)
-			if err != nil {
-				return err
-			}
-			resp.Result = map[string]any{"components": lagraph.CountComponents(labels)}
-			resp.Checksum = checksumInt64(labels)
+			return s.runIncAlgo(e, g, mode, ccAlgo(opts), resp)
 		case "cc-lp":
 			labels, err := lagraph.ConnectedComponentsLabelProp(g, opts...)
 			if err != nil {
@@ -525,6 +527,11 @@ func (s *Server) runQuery(ctx context.Context, e *catalog.Entry, req *QueryReque
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Algorithms without an incremental variant answer a non-full mode
+	// request honestly: full ran, and here is why.
+	if mode != modeFull && resp.Incremental == nil {
+		resp.Incremental = &IncrementalInfo{ModeUsed: modeFull, FallbackReason: "algo_not_incremental"}
 	}
 	resp.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	if tr != nil {
@@ -599,6 +606,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	} {
 		p("lagraphd_grb_kernel_ops_total{kernel=%q} %d\n", kv.kernel, kv.n)
 	}
+
+	p("# HELP lagraphd_incremental_queries_total Incremental-capable query runs by how they were answered.\n# TYPE lagraphd_incremental_queries_total counter\n")
+	p("lagraphd_incremental_queries_total{mode=\"warm\"} %d\n", s.incWarm.Load())
+	p("lagraphd_incremental_queries_total{mode=\"full\"} %d\n", s.incFull.Load())
+	p("# HELP lagraphd_incremental_fallbacks_total Requested-incremental queries answered by a full recompute.\n# TYPE lagraphd_incremental_fallbacks_total counter\n")
+	p("lagraphd_incremental_fallbacks_total %d\n", s.incFallbacks.Load())
+	p("# HELP lagraphd_incremental_iterations_saved_total Iterations saved by warm starts versus their full baselines.\n# TYPE lagraphd_incremental_iterations_saved_total counter\n")
+	p("lagraphd_incremental_iterations_saved_total %d\n", s.incItersSaved.Load())
 
 	s.writeStoreMetrics(w)
 	s.writeClusterMetrics(w)

@@ -113,6 +113,14 @@ type Server struct {
 	// it when cfg.GateReady; starts true otherwise).
 	bootReady atomic.Bool
 
+	// Incremental-query counters (see incremental.go): runs answered
+	// warm vs full, fallbacks from a requested incremental mode, and the
+	// cumulative iterations saved by warm starts.
+	incWarm       atomic.Int64
+	incFull       atomic.Int64
+	incFallbacks  atomic.Int64
+	incItersSaved atomic.Int64
+
 	// Per-endpoint request counters (endpoint → status class) and
 	// latency histograms. The endpoint set is fixed at construction, so
 	// the maps are read-only after New and need no lock.
